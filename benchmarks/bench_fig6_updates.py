@@ -1,0 +1,32 @@
+"""Benchmark F6 — Figure 6: actual l1-error vs #residue updates.
+
+The runtime-independent half of the reproduction: operation counts are
+identical no matter the host language, so the paper's Figure 6 claims
+must reproduce *exactly in shape*:
+
+* PowerPush needs the fewest residue updates to reach the target error
+  (dynamic-threshold epochs let residues accumulate before pushing);
+* FIFO-FwdPush needs no more updates than PowItr (its pushes skip
+  inactive nodes; PowItr always touches all m edges per iteration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_report(benchmark, workspace, write_report):
+    result = benchmark.pedantic(
+        run_fig6, args=(workspace,), rounds=1, iterations=1
+    )
+    write_report("fig6", result.render())
+
+    for dataset in result.series:
+        graph = workspace.graph(dataset)
+        target = workspace.config.l1_threshold(graph) * 10
+        reach = result.updates_to_reach(dataset, target)
+        assert reach["PowerPush"] <= reach["PowItr"], dataset
+        assert reach["FIFO-FwdPush"] <= reach["PowItr"] * 1.05, dataset
+        assert reach["PowerPush"] <= reach["FIFO-FwdPush"] * 1.05, dataset

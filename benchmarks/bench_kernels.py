@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the computational kernels.
+
+Not a paper artefact, but the substrate behind every figure: one
+global sweep (a Power-Iteration step), one small frontier push (the
+local path), and a batch of random walks.  These pin down the
+constants that the algorithm-level benchmarks build on, and make
+kernel-level performance regressions visible in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import frontier_push, global_sweep, sweep_active
+from repro.core.residues import PushState
+from repro.walks.engine import simulate_walk_stops
+
+
+@pytest.fixture(scope="module")
+def kernel_graph(request):
+    from repro.experiments.config import bench_config
+    from repro.generators.datasets import load_dataset
+
+    graph = load_dataset(bench_config().datasets[-1])
+    graph.transition_matrix_transpose()
+    return graph
+
+
+def test_global_sweep(benchmark, kernel_graph):
+    """One full mat-vec sweep (a PowItr iteration)."""
+
+    def run():
+        state = PushState(kernel_graph, 0)
+        global_sweep(state)
+        return state
+
+    state = benchmark(run)
+    assert state.r_sum < 1.0
+
+
+def test_frontier_push_small(benchmark, kernel_graph):
+    """Local push of a 64-node frontier (queue-phase workload)."""
+    rng = np.random.default_rng(0)
+    frontier = np.sort(
+        rng.choice(kernel_graph.num_nodes, size=64, replace=False)
+    ).astype(np.int64)
+
+    def run():
+        state = PushState(kernel_graph, 0)
+        state.residue[:] = 1.0 / kernel_graph.num_nodes
+        state.refresh_r_sum()
+        frontier_push(state, frontier)
+        return state
+
+    state = benchmark(run)
+    assert state.counters.pushes == 64
+
+
+def test_sweep_active_mixed(benchmark, kernel_graph):
+    """Auto-switching sweep at a mid-range threshold."""
+
+    def run():
+        state = PushState(kernel_graph, 0)
+        for _ in range(3):
+            sweep_active(state, 1e-5)
+        return state
+
+    state = benchmark(run)
+    assert state.counters.pushes > 0
+
+
+def test_walk_batch(benchmark, kernel_graph):
+    """10k alpha-walks from random starts (Monte-Carlo workload)."""
+    rng = np.random.default_rng(1)
+    starts = rng.integers(
+        0, kernel_graph.num_nodes, size=10_000, dtype=np.int64
+    )
+
+    def run():
+        stops, steps = simulate_walk_stops(
+            kernel_graph, starts, alpha=0.2, rng=rng, source=0
+        )
+        return stops
+
+    stops = benchmark(run)
+    assert stops.shape[0] == 10_000

@@ -1,0 +1,40 @@
+"""Benchmark T1 — Table 1: dataset generation and statistics.
+
+Times the synthetic generators (the cost a user pays instead of
+downloading SNAP data) and regenerates Table 1's statistics table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.generators.datasets import DATASETS, generate_dataset
+from repro.graph.stats import compute_stats
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+def test_generate_dataset(benchmark, name):
+    """Generation time of each analog dataset (cold, no cache)."""
+    graph = benchmark.pedantic(
+        generate_dataset, args=(name,), kwargs={"scale": 1.0}, rounds=1, iterations=1
+    )
+    assert graph.num_nodes > 0
+    assert not graph.has_dead_ends
+    benchmark.extra_info["nodes"] = graph.num_nodes
+    benchmark.extra_info["edges"] = graph.num_edges
+
+
+def test_table1_report(benchmark, workspace, write_report):
+    """Regenerate Table 1 and check the density match with the paper."""
+    result = benchmark.pedantic(
+        run_table1, args=(workspace,), rounds=1, iterations=1
+    )
+    path = write_report("table1", result.render())
+    # Shape assertion: every generated density within 25% of Table 1.
+    for name, stats in result.stats.items():
+        paper_density = DATASETS[name].avg_degree
+        assert stats.average_degree == pytest.approx(
+            paper_density, rel=0.25
+        ), name
+    assert path.exists()

@@ -1,0 +1,76 @@
+"""Benchmark T2 — Table 2: index size and construction time.
+
+Times the three preprocessing pipelines the paper compares (BePI's
+matrices, FORA+'s eps-dependent walk index, SpeedPPR's eps-independent
+walk index) and asserts the paper's headline shape: SpeedPPR's index
+is the smallest and cheapest to build, BePI's the heaviest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bepi.blockelim import build_bepi_index
+from repro.experiments.table2 import FORA_INDEX_EPSILON, run_table2
+from repro.montecarlo.chernoff import chernoff_walk_count
+from repro.walks.index import (
+    build_walk_index,
+    fora_plus_walk_counts,
+    speedppr_walk_counts,
+)
+
+
+def test_build_bepi_index(benchmark, workspace):
+    graph = workspace.graph(workspace.config.datasets[0])
+    index = benchmark.pedantic(
+        build_bepi_index, args=(graph,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["size_bytes"] = index.size_bytes
+    benchmark.extra_info["hubs"] = index.num_hubs
+
+
+def test_build_speedppr_index(benchmark, workspace):
+    graph = workspace.graph(workspace.config.datasets[0])
+    index = benchmark.pedantic(
+        build_walk_index,
+        args=(graph, speedppr_walk_counts(graph)),
+        kwargs={"rng": workspace.rng(salt=900), "policy": "speedppr"},
+        rounds=1,
+        iterations=1,
+    )
+    assert index.num_walks <= graph.num_edges
+    benchmark.extra_info["size_bytes"] = index.size_bytes
+
+
+def test_build_fora_index(benchmark, workspace):
+    graph = workspace.graph(workspace.config.datasets[0])
+    n = graph.num_nodes
+    num_walks_w = chernoff_walk_count(
+        FORA_INDEX_EPSILON, 1.0 / n, p_fail=1.0 / n
+    )
+    index = benchmark.pedantic(
+        build_walk_index,
+        args=(graph, fora_plus_walk_counts(graph, num_walks_w)),
+        kwargs={"rng": workspace.rng(salt=901), "policy": "fora+"},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["size_bytes"] = index.size_bytes
+
+
+def test_table2_report(benchmark, workspace, write_report):
+    result = benchmark.pedantic(
+        run_table2, args=(workspace,), rounds=1, iterations=1
+    )
+    write_report("table2", result.render())
+    for dataset in workspace.config.datasets:
+        speed = result.get(dataset, "SpeedPPR")
+        fora_report = result.get(dataset, "FORA")
+        bepi = result.get(dataset, "BePI")
+        # Paper shapes: SpeedPPR index ~10x smaller than FORA+'s and
+        # built faster; BePI's matrices the largest of all.
+        assert speed.size_bytes < fora_report.size_bytes, dataset
+        assert (
+            speed.construction_seconds <= fora_report.construction_seconds
+        ), dataset
+        assert bepi.size_bytes > fora_report.size_bytes, dataset

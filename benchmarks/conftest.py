@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks default to the scaled-down bench configuration (three
+representative datasets, three sources); set ``REPRO_BENCH_FULL=1`` for
+the paper's full protocol or ``REPRO_BENCH_DATASETS`` /
+``REPRO_BENCH_SOURCES`` / ``REPRO_BENCH_SCALE`` for custom runs.
+
+Every experiment writes its rendered report (the reproduced table or
+figure) to ``results/<experiment>.txt`` so the artefacts survive the
+pytest run; the console shows pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import bench_config
+from repro.experiments.workspace import Workspace
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def workspace() -> Workspace:
+    """One shared workspace (datasets + indexes cached) per session."""
+    return Workspace(bench_config())
+
+
+@pytest.fixture(scope="session")
+def write_report():
+    """Callable saving a rendered experiment report under results/."""
+
+    def _write(name: str, text: str) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _write

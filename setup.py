@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The modern PEP 660 editable-install path needs the ``wheel`` package;
+this shim lets ``pip install -e . --no-use-pep517`` (or plain
+``python setup.py develop``) work in offline environments where
+``wheel`` is unavailable.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""Approximate-SSPPR baselines the paper compares against."""
+
+from repro.baselines.fora import fora, fora_r_max
+from repro.baselines.resacc import resacc
+
+__all__ = ["fora", "fora_r_max", "resacc"]

@@ -1,0 +1,120 @@
+"""BePI's query-time solver (Jung et al., SIGMOD'17).
+
+With the :class:`~repro.bepi.blockelim.BePIIndex` in hand, a query for
+source ``s`` solves ``H x = alpha * e_s`` by block elimination::
+
+    y1  = H11^{-1} b1                  (sparse LU solves)
+    b2' = b2 - H21 y1
+    S x2 = b2'                         (iterative solve, see below)
+    x1  = H11^{-1} (b1 - H12 x2)
+
+The Schur system is solved with the same fixed-point iteration BePI
+uses instead of inverting ``S``: writing ``S = I - M``,
+
+    ``x2 <- b2' + M x2``
+
+until the l2 distance between consecutive iterates drops below the
+convergence parameter ``Delta`` — the paper's Section 8 notes BePI
+measures exactly this quantity, *not* the true l1-error, which is why
+the harness computes BePI's actual l1-error post-hoc against ground
+truth.  If the fixed point stalls, we fall back to a direct dense
+solve (the Schur block is small by construction).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bepi.blockelim import BePIIndex
+from repro.core.result import PPRResult
+from repro.core.validation import check_source
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.instrumentation.counters import PushCounters
+
+__all__ = ["bepi_query"]
+
+
+def bepi_query(
+    graph: DiGraph,
+    index: BePIIndex,
+    source: int,
+    *,
+    delta: float = 1e-8,
+    max_inner_iterations: int = 10_000,
+) -> PPRResult:
+    """Answer a high-precision SSPPR query from a BePI index.
+
+    Parameters
+    ----------
+    delta:
+        BePI's convergence parameter: the iterative Schur solve stops
+        when ``||x2^(j+1) - x2^(j)||_2 <= delta``.
+    """
+    index.check_graph(graph)
+    check_source(graph, source)
+    if delta <= 0:
+        raise ParameterError(f"delta must be positive, got {delta}")
+
+    started = time.perf_counter()
+    n = index.num_nodes
+    n1 = index.num_spokes
+    alpha = index.alpha
+
+    b = np.zeros(n, dtype=np.float64)
+    b[index.inverse_order[source]] = alpha
+    b1, b2 = b[:n1], b[n1:]
+
+    counters = PushCounters()
+    y1 = index.h11_lu.solve(b1) if n1 else b1
+    b2_eff = b2 - (index.h21 @ y1 if n1 else 0.0)
+
+    x2, inner_iterations = _solve_schur_fixed_point(
+        index.schur, b2_eff, delta, max_inner_iterations
+    )
+    counters.iterations = inner_iterations
+
+    if n1:
+        rhs1 = b1 - (index.h12 @ x2 if x2.shape[0] else 0.0)
+        x1 = index.h11_lu.solve(rhs1)
+    else:
+        x1 = b1
+
+    x_perm = np.concatenate([x1, x2])
+    estimate = np.empty(n, dtype=np.float64)
+    estimate[index.ordering.order] = x_perm
+
+    return PPRResult(
+        estimate=estimate,
+        residue=None,
+        source=source,
+        alpha=alpha,
+        counters=counters,
+        seconds=time.perf_counter() - started,
+        method="BePI",
+    )
+
+
+def _solve_schur_fixed_point(
+    schur: np.ndarray,
+    rhs: np.ndarray,
+    delta: float,
+    max_iterations: int,
+) -> tuple[np.ndarray, int]:
+    """Iterate ``x <- rhs + (I - S) x`` until the l2 step is <= delta."""
+    n2 = rhs.shape[0]
+    if n2 == 0:
+        return rhs.copy(), 0
+    iteration_matrix = np.eye(n2) - schur
+    x = rhs.copy()
+    for iteration in range(1, max_iterations + 1):
+        x_next = rhs + iteration_matrix @ x
+        step = float(np.linalg.norm(x_next - x))
+        x = x_next
+        if step <= delta:
+            return x, iteration
+    # The fixed point stalled (possible when the hub block is close to
+    # reducible); the Schur block is small, so solve directly.
+    return np.linalg.solve(schur, rhs), max_iterations

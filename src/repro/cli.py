@@ -1,0 +1,175 @@
+"""Command-line interface: ``repro-ppr``.
+
+Examples
+--------
+Run one experiment on the default bench configuration::
+
+    repro-ppr run F4
+
+Run everything the paper reports, full protocol, into a file::
+
+    repro-ppr run all --full --out results.txt
+
+Answer a single query from the shell::
+
+    repro-ppr query dblp-s --source 7 --method powerpush --top 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.fora import fora
+from repro.baselines.resacc import resacc
+from repro.core.fifo_fwdpush import fifo_forward_push
+from repro.core.power_iteration import power_iteration
+from repro.core.powerpush import power_push
+from repro.core.speedppr import speed_ppr
+from repro.errors import ReproError
+from repro.experiments.config import bench_config, full_config
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.workspace import Workspace
+from repro.generators.datasets import dataset_names, load_dataset
+from repro.montecarlo.mc import monte_carlo_ppr
+
+__all__ = ["main", "build_parser"]
+
+_QUERY_METHODS = (
+    "powerpush",
+    "powitr",
+    "fwdpush",
+    "speedppr",
+    "fora",
+    "resacc",
+    "montecarlo",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ppr",
+        description=(
+            "Reproduction harness for 'Unifying the Global and Local "
+            "Approaches: An Efficient Power Iteration with Forward Push' "
+            "(SIGMOD 2021)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a paper experiment")
+    run.add_argument(
+        "experiment",
+        help=f"experiment id ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    run.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's full protocol (all datasets, 30 sources)",
+    )
+    run.add_argument("--out", type=Path, help="also write the report here")
+
+    query = sub.add_parser("query", help="answer one SSPPR query")
+    query.add_argument("dataset", choices=dataset_names())
+    query.add_argument("--source", type=int, default=0)
+    query.add_argument("--method", choices=_QUERY_METHODS, default="powerpush")
+    query.add_argument("--alpha", type=float, default=0.2)
+    query.add_argument("--l1-threshold", type=float, default=1e-8)
+    query.add_argument("--epsilon", type=float, default=0.5)
+    query.add_argument("--top", type=int, default=10)
+    query.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list experiments and datasets")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "query":
+            return _cmd_query(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for key, (description, _) in EXPERIMENTS.items():
+        print(f"  {key}: {description}")
+    print("datasets:")
+    for name in dataset_names():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = full_config() if args.full else bench_config()
+    workspace = Workspace(config)
+    ids = list(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
+    chunks = []
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, workspace)
+        chunks.append(result.render())
+    report = "\n\n".join(chunks)
+    print(report)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report + "\n")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset)
+    rng = np.random.default_rng(args.seed)
+    if args.method == "powerpush":
+        result = power_push(
+            graph, args.source, alpha=args.alpha, l1_threshold=args.l1_threshold
+        )
+    elif args.method == "powitr":
+        result = power_iteration(
+            graph, args.source, alpha=args.alpha, l1_threshold=args.l1_threshold
+        )
+    elif args.method == "fwdpush":
+        result = fifo_forward_push(
+            graph, args.source, alpha=args.alpha, l1_threshold=args.l1_threshold
+        )
+    elif args.method == "speedppr":
+        result = speed_ppr(
+            graph, args.source, alpha=args.alpha, epsilon=args.epsilon, rng=rng
+        )
+    elif args.method == "fora":
+        result = fora(
+            graph, args.source, alpha=args.alpha, epsilon=args.epsilon, rng=rng
+        )
+    elif args.method == "resacc":
+        result = resacc(
+            graph, args.source, alpha=args.alpha, epsilon=args.epsilon, rng=rng
+        )
+    else:  # montecarlo
+        result = monte_carlo_ppr(
+            graph, args.source, alpha=args.alpha, epsilon=args.epsilon, rng=rng
+        )
+    print(
+        f"{result.method} on {args.dataset} (n={graph.num_nodes}, "
+        f"m={graph.num_edges}), source={args.source}: "
+        f"{result.seconds:.4f}s"
+    )
+    for rank, (node, score) in enumerate(result.top_k(args.top), start=1):
+        print(f"  #{rank:<3d} node {node:<8d} ppr={score:.6e}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

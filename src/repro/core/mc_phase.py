@@ -1,0 +1,144 @@
+"""The shared Monte-Carlo refinement phase (paper Eq. 13-14).
+
+FORA, SpeedPPR and ResAcc all finish the same way: given the reserve
+vector ``pi_hat`` and residue vector ``r`` left by a push phase, each
+node ``v`` with ``r(s, v) > 0`` launches ``W_v = ceil(r(s, v) * W)``
+alpha-walks, and every walk stopping at ``u`` adds ``r(s, v) / W_v`` to
+``pi_hat(s, u)`` (Eq. 13).  The final estimate (Eq. 14) is unbiased
+because ``pi_s = pi_hat + sum_v r(s, v) * pi_v`` (the linearity
+invariant of forward push) and each walk from ``v`` is an unbiased
+sample of ``pi_v``.
+
+Walks either run live through the engine or come from a pre-computed
+:class:`~repro.walks.index.WalkIndex` (the FORA+ / SpeedPPR-Index
+variants).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import IndexMismatchError, ParameterError
+from repro.graph.digraph import DiGraph
+from repro.instrumentation.counters import PushCounters
+from repro.walks.engine import simulate_walk_stops
+from repro.walks.index import WalkIndex
+
+__all__ = ["monte_carlo_refine", "required_walks"]
+
+OnInsufficient = Literal["error", "cap"]
+
+
+def required_walks(residue: np.ndarray, num_walks_w: float) -> np.ndarray:
+    """Per-node walk budget ``W_v = ceil(r(s,v) * W)`` (0 where r = 0)."""
+    if num_walks_w <= 0:
+        raise ParameterError(f"W must be positive, got {num_walks_w}")
+    return np.ceil(np.maximum(residue, 0.0) * num_walks_w).astype(np.int64)
+
+
+def monte_carlo_refine(
+    graph: DiGraph,
+    source: int,
+    alpha: float,
+    reserve: np.ndarray,
+    residue: np.ndarray,
+    num_walks_w: float,
+    *,
+    rng: np.random.Generator | None = None,
+    walk_index: WalkIndex | None = None,
+    counters: PushCounters | None = None,
+    on_insufficient: OnInsufficient = "error",
+) -> np.ndarray:
+    """Run the Eq. 13-14 refinement and return the final estimate.
+
+    Parameters
+    ----------
+    reserve, residue:
+        The push phase's output; neither array is modified.
+    num_walks_w:
+        The Chernoff budget ``W`` (Eq. 12).
+    rng:
+        Required when ``walk_index`` is None (live walks).
+    walk_index:
+        Pre-computed walks; node ``v`` consumes its first ``W_v``
+        entries.
+    on_insufficient:
+        With an index, what to do when ``W_v`` exceeds the
+        pre-computed count ``K_v``: ``"error"`` raises
+        :class:`IndexMismatchError`; ``"cap"`` silently uses ``K_v``
+        walks (statistically safe — the estimator stays unbiased with
+        any positive walk count — at slightly higher variance).
+    """
+    if walk_index is None and rng is None:
+        raise ParameterError("live Monte-Carlo phase requires an rng")
+    if walk_index is not None:
+        walk_index.check_graph(graph)
+        if abs(walk_index.alpha - alpha) > 1e-12:
+            raise IndexMismatchError(
+                f"index built for alpha={walk_index.alpha}, query uses {alpha}"
+            )
+
+    estimate = reserve.astype(np.float64, copy=True)
+    nodes = np.flatnonzero(residue > 0.0)
+    if nodes.shape[0] == 0:
+        return estimate
+
+    walks_needed = required_walks(residue[nodes], num_walks_w)
+
+    if walk_index is not None:
+        available = (
+            walk_index.indptr[nodes + 1] - walk_index.indptr[nodes]
+        ).astype(np.int64)
+        short = walks_needed > available
+        if np.any(short):
+            if on_insufficient == "error":
+                worst = nodes[short][0]
+                raise IndexMismatchError(
+                    f"node {int(worst)} needs "
+                    f"{int(walks_needed[short][0])} walks but the index "
+                    f"holds {int(available[short][0])} "
+                    f"(policy={walk_index.policy!r}); rebuild the index "
+                    "or pass on_insufficient='cap'"
+                )
+            walks_needed = np.minimum(walks_needed, available)
+            if counters is not None:
+                counters.bump("index_capped_nodes", int(short.sum()))
+        stops = _gather_index_stops(walk_index, nodes, walks_needed)
+        steps = 0
+    else:
+        starts = np.repeat(nodes, walks_needed)
+        assert rng is not None
+        stops, steps = simulate_walk_stops(
+            graph, starts, alpha=alpha, source=source, rng=rng
+        )
+
+    total_walks = int(walks_needed.sum())
+    if total_walks:
+        live = walks_needed > 0
+        weights = np.zeros(nodes.shape[0], dtype=np.float64)
+        weights[live] = residue[nodes[live]] / walks_needed[live]
+        per_walk_weight = np.repeat(weights, walks_needed)
+        estimate += np.bincount(
+            stops, weights=per_walk_weight, minlength=graph.num_nodes
+        )
+    if counters is not None:
+        counters.random_walks += total_walks
+        counters.walk_steps += steps
+    return estimate
+
+
+def _gather_index_stops(
+    index: WalkIndex, nodes: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Concatenate the first ``counts[i]`` pre-computed stops of each node."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = index.indptr[nodes]
+    offsets = np.empty(counts.shape[0], dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(counts[:-1], out=offsets[1:])
+    positions = np.repeat(starts - offsets, counts) + np.arange(total)
+    return index.stops[positions].astype(np.int64)

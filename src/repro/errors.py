@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch a single base class.  Subclasses
+are grouped by subsystem: graph construction and I/O, algorithm parameter
+validation, and index management.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """An edge list, file, or array describing a graph is malformed."""
+
+
+class GraphConstructionError(ReproError):
+    """A graph could not be assembled from otherwise well-formed input."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter is outside its documented domain.
+
+    Inherits from :class:`ValueError` so generic callers that catch
+    ``ValueError`` keep working.
+    """
+
+
+class NodeNotFoundError(ReproError, KeyError):
+    """A node id is outside ``[0, n)`` for the graph in question."""
+
+
+class IndexBuildError(ReproError):
+    """A precomputed index (walk index or BePI index) failed to build."""
+
+
+class IndexMismatchError(ReproError):
+    """A precomputed index does not match the graph or query parameters."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver exhausted its iteration budget before converging."""

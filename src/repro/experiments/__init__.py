@@ -1,0 +1,44 @@
+"""Experiment harness: one runner per paper table/figure plus ablations.
+
+See DESIGN.md's per-experiment index for the id <-> artifact mapping.
+"""
+
+from repro.experiments.ablations import (
+    run_powerpush_ablation,
+    run_scheduling_ablation,
+)
+from repro.experiments.config import (
+    ExperimentConfig,
+    bench_config,
+    full_config,
+    query_sources,
+)
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.runner import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.workspace import Workspace
+
+__all__ = [
+    "ExperimentConfig",
+    "bench_config",
+    "full_config",
+    "query_sources",
+    "Workspace",
+    "run_table1",
+    "run_table2",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_powerpush_ablation",
+    "run_scheduling_ablation",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "run_experiment",
+]

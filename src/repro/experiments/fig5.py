@@ -1,0 +1,148 @@
+"""Experiment F5 — Figure 5: actual l1-error vs execution time.
+
+For one reference source per dataset (the paper uses the source with
+the median PowerPush time among its 30 queries), trace ``r_sum`` — the
+*exact* l1-error for push algorithms — as a function of wall-clock
+time, sampling every ``4m`` residue updates as the paper does.  BePI
+has no residue; as in the paper it is run to a decreasing sequence of
+convergence parameters ``Delta`` and each run contributes one
+``(time, post-hoc l1-error)`` point.
+
+Expected shape (paper): straight lines on the log-error axis for the
+push methods (exponential convergence — their O(m log 1/lambda)
+bound), PowerPush's line the steepest/leftmost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bepi.solver import bepi_query
+from repro.core.fifo_fwdpush import fifo_forward_push
+from repro.core.power_iteration import power_iteration
+from repro.core.powerpush import power_push
+from repro.experiments.config import query_sources
+from repro.experiments.report import ascii_chart, format_series
+from repro.experiments.workspace import Workspace
+from repro.instrumentation.tracing import ConvergenceTrace
+from repro.metrics.errors import l1_error
+
+__all__ = ["Fig5Result", "run_fig5", "reference_source", "BEPI_DELTAS"]
+
+#: decreasing Delta sequence for BePI's error/time curve.
+BEPI_DELTAS = (1e-2, 1e-4, 1e-6, 1e-8)
+
+
+@dataclass
+class Fig5Result:
+    """Per-dataset series: method -> (seconds, l1_error)."""
+
+    series: dict[str, dict[str, tuple[list[float], list[float]]]] = field(
+        default_factory=dict
+    )
+    sources: dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        blocks = []
+        for dataset, curves in self.series.items():
+            blocks.append(
+                ascii_chart(
+                    curves,
+                    title=(
+                        f"Figure 5 [{dataset}] — l1-error vs time "
+                        f"(source {self.sources[dataset]})"
+                    ),
+                    log_y=True,
+                    x_label="seconds",
+                    y_label="l1-error",
+                )
+            )
+            blocks.append(
+                format_series(curves, x_name="seconds", y_name="l1")
+            )
+        return "\n\n".join(blocks)
+
+
+def reference_source(workspace: Workspace, dataset: str) -> int:
+    """The source with the median PowerPush time among the query set."""
+    config = workspace.config
+    graph = workspace.graph(dataset)
+    sources = query_sources(graph, config.num_sources, config.seed)
+    timings: list[tuple[float, int]] = []
+    for source in sources.tolist():
+        started = time.perf_counter()
+        power_push(
+            graph,
+            source,
+            alpha=config.alpha,
+            l1_threshold=config.l1_threshold(graph),
+        )
+        timings.append((time.perf_counter() - started, source))
+    timings.sort()
+    return timings[len(timings) // 2][1]
+
+
+def run_fig5(workspace: Workspace | None = None) -> Fig5Result:
+    """Trace convergence of all HP methods on every configured dataset."""
+    workspace = workspace or Workspace()
+    config = workspace.config
+    result = Fig5Result()
+    for name in config.datasets:
+        graph = workspace.graph(name)
+        source = reference_source(workspace, name)
+        result.sources[name] = source
+        l1_threshold = config.l1_threshold(graph)
+        stride = config.trace_stride_edges * graph.num_edges
+        curves: dict[str, tuple[list[float], list[float]]] = {}
+
+        for label, runner in (
+            ("PowerPush", power_push),
+            ("PowItr", power_iteration),
+        ):
+            trace = ConvergenceTrace(stride=stride)
+            runner(
+                graph,
+                source,
+                alpha=config.alpha,
+                l1_threshold=l1_threshold,
+                trace=trace,
+            )
+            curves[label] = trace.series_vs_time()
+
+        trace = ConvergenceTrace(stride=stride)
+        fifo_forward_push(
+            graph,
+            source,
+            alpha=config.alpha,
+            l1_threshold=l1_threshold,
+            trace=trace,
+        )
+        curves["FIFO-FwdPush"] = trace.series_vs_time()
+
+        curves["BePI"] = _bepi_curve(workspace, name, source, l1_threshold)
+        result.series[name] = curves
+    return result
+
+
+def _bepi_curve(
+    workspace: Workspace,
+    dataset: str,
+    source: int,
+    l1_threshold: float,
+) -> tuple[list[float], list[float]]:
+    """One (time, l1-error) point per Delta in the decreasing sequence."""
+    graph = workspace.graph(dataset)
+    index = workspace.bepi_index(dataset)
+    truth = workspace.ground_truth(dataset, source)
+    deltas = [d for d in BEPI_DELTAS if d >= l1_threshold] + [l1_threshold]
+    times: list[float] = []
+    errors: list[float] = []
+    for delta in deltas:
+        started = time.perf_counter()
+        answer = bepi_query(graph, index, source, delta=delta)
+        times.append(time.perf_counter() - started)
+        errors.append(l1_error(answer.estimate, np.asarray(truth)))
+    return times, errors

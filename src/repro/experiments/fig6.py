@@ -1,0 +1,112 @@
+"""Experiment F6 — Figure 6: actual l1-error vs number of residue updates.
+
+Identical protocol to Figure 5 but with the *operation count* on the
+x-axis: every increment of one out-neighbour's residue is one update
+("edge pushing").  BePI is excluded, as in the paper — its MATLAB
+black box exposed no operation counts, and the metric is only defined
+for push algorithms anyway.
+
+Expected shape (paper): FIFO-FwdPush's pushes are more effective than
+PowItr's (asynchrony), and PowerPush needs the fewest updates overall
+(the dynamic-threshold epochs let residues accumulate before pushing).
+This counter-based view is the runtime-independent half of the
+reproduction — it is unaffected by interpreter constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.fifo_fwdpush import fifo_forward_push
+from repro.core.power_iteration import power_iteration
+from repro.core.powerpush import power_push
+from repro.experiments.fig5 import reference_source
+from repro.experiments.report import ascii_chart, format_series
+from repro.experiments.workspace import Workspace
+from repro.instrumentation.tracing import ConvergenceTrace
+
+__all__ = ["Fig6Result", "run_fig6"]
+
+
+@dataclass
+class Fig6Result:
+    """Per-dataset series: method -> (residue_updates, l1_error)."""
+
+    series: dict[str, dict[str, tuple[list[float], list[float]]]] = field(
+        default_factory=dict
+    )
+    sources: dict[str, int] = field(default_factory=dict)
+
+    def updates_to_reach(self, dataset: str, threshold: float) -> dict[str, float]:
+        """Updates each method needed to reach ``r_sum <= threshold``."""
+        answer: dict[str, float] = {}
+        for method, (xs, ys) in self.series[dataset].items():
+            answer[method] = float("inf")
+            for x, y in zip(xs, ys):
+                if y <= threshold:
+                    answer[method] = float(x)
+                    break
+        return answer
+
+    def render(self) -> str:
+        blocks = []
+        for dataset, curves in self.series.items():
+            blocks.append(
+                ascii_chart(
+                    curves,
+                    title=(
+                        f"Figure 6 [{dataset}] — l1-error vs #residue "
+                        f"updates (source {self.sources[dataset]})"
+                    ),
+                    log_y=True,
+                    x_label="#updates",
+                    y_label="l1-error",
+                )
+            )
+            blocks.append(
+                format_series(curves, x_name="#updates", y_name="l1")
+            )
+        return "\n\n".join(blocks)
+
+
+def run_fig6(workspace: Workspace | None = None) -> Fig6Result:
+    """Trace update-efficiency of the push methods on every dataset."""
+    workspace = workspace or Workspace()
+    config = workspace.config
+    result = Fig6Result()
+    for name in config.datasets:
+        graph = workspace.graph(name)
+        source = reference_source(workspace, name)
+        result.sources[name] = source
+        l1_threshold = config.l1_threshold(graph)
+        stride = config.trace_stride_edges * graph.num_edges
+        curves: dict[str, tuple[list[float], list[float]]] = {}
+
+        for label, runner in (
+            ("PowerPush", power_push),
+            ("PowItr", power_iteration),
+        ):
+            trace = ConvergenceTrace(stride=stride)
+            runner(
+                graph,
+                source,
+                alpha=config.alpha,
+                l1_threshold=l1_threshold,
+                trace=trace,
+            )
+            xs, ys = trace.series_vs_updates()
+            curves[label] = ([float(x) for x in xs], ys)
+
+        trace = ConvergenceTrace(stride=stride)
+        fifo_forward_push(
+            graph,
+            source,
+            alpha=config.alpha,
+            l1_threshold=l1_threshold,
+            trace=trace,
+        )
+        xs, ys = trace.series_vs_updates()
+        curves["FIFO-FwdPush"] = ([float(x) for x in xs], ys)
+
+        result.series[name] = curves
+    return result

@@ -1,0 +1,147 @@
+"""Experiment F8 — Figure 8: actual l1-error vs eps.
+
+Same sweep as Figure 7, but measuring solution quality: the l1-error of
+each returned estimate against the PowItr ground truth (the paper uses
+PowerPush at ``lambda = 1e-17``; we use PowItr at ``1e-14`` — see
+DESIGN.md, Substitutions).  Errors are averaged over the query sources.
+
+Expected shape (paper): all approximate methods improve as eps shrinks;
+SpeedPPR gives the best quality on most datasets (up to an order of
+magnitude at small eps); the index-based variants are *less* accurate
+than their index-free versions, because they leave more mass to the
+Monte-Carlo phase (larger ``r_sum`` ⇒ larger variance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.fora import fora
+from repro.baselines.resacc import resacc
+from repro.core.speedppr import speed_ppr
+from repro.experiments.config import query_sources
+from repro.experiments.report import ascii_chart, format_table
+from repro.experiments.table2 import FORA_INDEX_EPSILON
+from repro.experiments.workspace import Workspace
+from repro.metrics.errors import l1_error
+
+__all__ = ["Fig8Result", "run_fig8", "ERROR_METHODS"]
+
+ERROR_METHODS = (
+    "SpeedPPR",
+    "SpeedPPR-Index",
+    "FORA",
+    "FORA-Index",
+    "ResAcc",
+)
+
+
+@dataclass
+class Fig8Result:
+    """errors[dataset][method] -> mean l1-errors aligned with epsilons."""
+
+    epsilons: tuple[float, ...]
+    errors: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+
+    def rows(self, dataset: str) -> list[list[str]]:
+        rows = []
+        for method in ERROR_METHODS:
+            rows.append(
+                [method]
+                + [f"{e:.3e}" for e in self.errors[dataset][method]]
+            )
+        return rows
+
+    def render(self) -> str:
+        blocks = []
+        for dataset in self.errors:
+            blocks.append(
+                format_table(
+                    ["method", *[f"eps={e}" for e in self.epsilons]],
+                    self.rows(dataset),
+                    title=f"Figure 8 [{dataset}] — l1-error vs eps",
+                )
+            )
+            curves = {
+                method: (
+                    [float(e) for e in self.epsilons],
+                    self.errors[dataset][method],
+                )
+                for method in ERROR_METHODS
+            }
+            blocks.append(
+                ascii_chart(
+                    curves,
+                    title=f"Figure 8 [{dataset}] — chart",
+                    log_y=True,
+                    x_label="eps",
+                    y_label="l1-error",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run_fig8(workspace: Workspace | None = None) -> Fig8Result:
+    """Run the Figure 8 sweep on every configured dataset."""
+    workspace = workspace or Workspace()
+    config = workspace.config
+    result = Fig8Result(epsilons=config.epsilons)
+    smallest_eps = min(min(config.epsilons), FORA_INDEX_EPSILON)
+
+    for name in config.datasets:
+        graph = workspace.graph(name)
+        sources = query_sources(graph, config.num_sources, config.seed)
+        speed_index = workspace.speedppr_index(name)
+        fora_index = workspace.fora_index(name, smallest_eps)
+        by_method: dict[str, list[float]] = {m: [] for m in ERROR_METHODS}
+
+        for epsilon in config.epsilons:
+            totals = {m: 0.0 for m in ERROR_METHODS}
+            for salt, source in enumerate(sources.tolist()):
+                truth = np.asarray(workspace.ground_truth(name, source))
+                rng = workspace.rng(salt=200 + salt)
+                estimates = {
+                    "SpeedPPR": speed_ppr(
+                        graph,
+                        source,
+                        alpha=config.alpha,
+                        epsilon=epsilon,
+                        rng=rng,
+                    ).estimate,
+                    "SpeedPPR-Index": speed_ppr(
+                        graph,
+                        source,
+                        alpha=config.alpha,
+                        epsilon=epsilon,
+                        walk_index=speed_index,
+                    ).estimate,
+                    "FORA": fora(
+                        graph,
+                        source,
+                        alpha=config.alpha,
+                        epsilon=epsilon,
+                        rng=rng,
+                    ).estimate,
+                    "FORA-Index": fora(
+                        graph,
+                        source,
+                        alpha=config.alpha,
+                        epsilon=epsilon,
+                        walk_index=fora_index,
+                    ).estimate,
+                    "ResAcc": resacc(
+                        graph,
+                        source,
+                        alpha=config.alpha,
+                        epsilon=epsilon,
+                        rng=rng,
+                    ).estimate,
+                }
+                for method, estimate in estimates.items():
+                    totals[method] += l1_error(estimate, truth)
+            for method in ERROR_METHODS:
+                by_method[method].append(totals[method] / len(sources))
+        result.errors[name] = by_method
+    return result

@@ -1,0 +1,115 @@
+"""Experiment T2 — Table 2: index size and construction time.
+
+For every dataset, build the three indexes the paper compares:
+
+* **BePI** (high-precision): SlashBurn + block elimination matrices,
+* **FORA+** (approximate): eps-dependent walk index, built at the
+  smallest eps of the sweep (0.1), exactly as the paper does,
+* **SpeedPPR** (approximate): eps-independent ``K_v = d_v`` walk index.
+
+Expected shape (paper): SpeedPPR's index is ~an order of magnitude
+smaller and faster to build than FORA+'s; BePI's is the largest and by
+far the slowest to build, especially on the dense Orkut analog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_bytes, format_seconds, format_table
+from repro.experiments.workspace import Workspace
+
+__all__ = ["IndexReport", "Table2Result", "run_table2"]
+
+#: the smallest eps of Figures 7-8; FORA+'s index is built for it.
+FORA_INDEX_EPSILON = 0.1
+
+
+@dataclass(frozen=True)
+class IndexReport:
+    """Size and construction time of one index on one dataset."""
+
+    dataset: str
+    method: str
+    size_bytes: int
+    construction_seconds: float
+
+
+@dataclass
+class Table2Result:
+    """All index reports, keyed by (dataset, method)."""
+
+    reports: list[IndexReport]
+
+    def get(self, dataset: str, method: str) -> IndexReport:
+        for report in self.reports:
+            if report.dataset == dataset and report.method == method:
+                return report
+        raise KeyError((dataset, method))
+
+    def rows(self) -> list[list[str]]:
+        datasets = sorted({r.dataset for r in self.reports})
+        rows = []
+        for dataset in datasets:
+            row = [dataset]
+            for method in ("BePI", "FORA", "SpeedPPR"):
+                report = self.get(dataset, method)
+                row.append(format_bytes(report.size_bytes))
+            for method in ("BePI", "FORA", "SpeedPPR"):
+                report = self.get(dataset, method)
+                row.append(format_seconds(report.construction_seconds))
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        return format_table(
+            [
+                "dataset",
+                "BePI size",
+                "FORA size",
+                "SpeedPPR size",
+                "BePI build",
+                "FORA build",
+                "SpeedPPR build",
+            ],
+            self.rows(),
+            title=(
+                "Table 2 — index size and construction time "
+                f"(FORA+ index built at eps={FORA_INDEX_EPSILON})"
+            ),
+        )
+
+
+def run_table2(workspace: Workspace | None = None) -> Table2Result:
+    """Build all three indexes on every configured dataset."""
+    workspace = workspace or Workspace()
+    reports: list[IndexReport] = []
+    for name in workspace.config.datasets:
+        bepi = workspace.bepi_index(name)
+        reports.append(
+            IndexReport(
+                dataset=name,
+                method="BePI",
+                size_bytes=bepi.size_bytes,
+                construction_seconds=bepi.construction_seconds,
+            )
+        )
+        fora_index = workspace.fora_index(name, FORA_INDEX_EPSILON)
+        reports.append(
+            IndexReport(
+                dataset=name,
+                method="FORA",
+                size_bytes=fora_index.size_bytes,
+                construction_seconds=fora_index.construction_seconds,
+            )
+        )
+        speed_index = workspace.speedppr_index(name)
+        reports.append(
+            IndexReport(
+                dataset=name,
+                method="SpeedPPR",
+                size_bytes=speed_index.size_bytes,
+                construction_seconds=speed_index.construction_seconds,
+            )
+        )
+    return Table2Result(reports=reports)

@@ -1,0 +1,107 @@
+"""Shared artifact cache for the experiment runners.
+
+Several experiments need the same expensive artifacts — generated
+datasets, BePI indexes, walk indexes, ground-truth vectors.  A
+:class:`Workspace` memoises them per process so e.g. Figure 7 and
+Figure 8 share one FORA+ index per dataset, exactly as the paper
+re-uses indexes across queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bepi.blockelim import BePIIndex, build_bepi_index
+from repro.experiments.config import ExperimentConfig
+from repro.generators.datasets import load_dataset
+from repro.graph.digraph import DiGraph
+from repro.metrics.ground_truth import ground_truth_ppr
+from repro.montecarlo.chernoff import chernoff_walk_count
+from repro.walks.index import (
+    WalkIndex,
+    build_walk_index,
+    fora_plus_walk_counts,
+    speedppr_walk_counts,
+)
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Per-process cache of datasets, indexes and ground truths."""
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config if config is not None else ExperimentConfig()
+        self._graphs: dict[str, DiGraph] = {}
+        self._bepi: dict[str, BePIIndex] = {}
+        self._speedppr_index: dict[str, WalkIndex] = {}
+        self._fora_index: dict[tuple[str, float], WalkIndex] = {}
+        self._truth: dict[tuple[str, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def graph(self, name: str) -> DiGraph:
+        """The analog dataset ``name`` (generated once per process)."""
+        if name not in self._graphs:
+            self._graphs[name] = load_dataset(name)
+        return self._graphs[name]
+
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        """A fresh deterministic generator derived from the config seed."""
+        return np.random.default_rng(self.config.seed * 1_000_003 + salt)
+
+    # ------------------------------------------------------------------
+    def bepi_index(self, name: str) -> BePIIndex:
+        """BePI preprocessing output for dataset ``name`` (cached)."""
+        if name not in self._bepi:
+            self._bepi[name] = build_bepi_index(
+                self.graph(name), alpha=self.config.alpha
+            )
+        return self._bepi[name]
+
+    def speedppr_index(self, name: str) -> WalkIndex:
+        """SpeedPPR's eps-independent walk index (``K_v = d_v``)."""
+        if name not in self._speedppr_index:
+            graph = self.graph(name)
+            self._speedppr_index[name] = build_walk_index(
+                graph,
+                speedppr_walk_counts(graph),
+                alpha=self.config.alpha,
+                policy="speedppr",
+                rng=self.rng(salt=1),
+            )
+        return self._speedppr_index[name]
+
+    def fora_index(self, name: str, epsilon: float) -> WalkIndex:
+        """FORA+'s eps-dependent walk index, built for ``epsilon``.
+
+        The paper builds FORA+'s index at the smallest eps in play and
+        re-uses it for larger ones — callers should do the same.
+        """
+        key = (name, epsilon)
+        if key not in self._fora_index:
+            graph = self.graph(name)
+            num_walks_w = chernoff_walk_count(
+                epsilon,
+                1.0 / graph.num_nodes,
+                p_fail=1.0 / graph.num_nodes,
+            )
+            self._fora_index[key] = build_walk_index(
+                graph,
+                fora_plus_walk_counts(graph, num_walks_w),
+                alpha=self.config.alpha,
+                policy="fora+",
+                rng=self.rng(salt=2),
+            )
+        return self._fora_index[key]
+
+    def ground_truth(self, name: str, source: int) -> np.ndarray:
+        """High-precision ground truth ``pi_s`` for error reporting."""
+        key = (name, source)
+        if key not in self._truth:
+            self._truth[key] = ground_truth_ppr(
+                self.graph(name),
+                source,
+                alpha=self.config.alpha,
+                l1_threshold=1e-14,
+            )
+        return self._truth[key]

@@ -1,0 +1,41 @@
+"""Synthetic scale-free graph generators and the six-dataset registry.
+
+These generators are the repository's substitute for the SNAP datasets
+of the paper's Table 1 (see DESIGN.md, "Substitutions"): directed
+Chung–Lu with power-law degree weights, directed Barabási–Albert, and
+R-MAT, plus a registry (:data:`DATASETS`) producing scaled analogs of
+DBLP, Web-Stanford, Pokec, LiveJournal, Orkut and Twitter.
+"""
+
+from repro.generators.ba import barabasi_albert_digraph
+from repro.generators.chung_lu import chung_lu_digraph, power_law_digraph
+from repro.generators.datasets import (
+    DATASETS,
+    DatasetSpec,
+    clear_dataset_cache,
+    dataset_names,
+    generate_dataset,
+    load_dataset,
+)
+from repro.generators.powerlaw import (
+    expected_pareto_mean,
+    sample_power_law_degrees,
+    scale_degrees_to_total,
+)
+from repro.generators.rmat import rmat_digraph
+
+__all__ = [
+    "barabasi_albert_digraph",
+    "chung_lu_digraph",
+    "power_law_digraph",
+    "rmat_digraph",
+    "sample_power_law_degrees",
+    "scale_degrees_to_total",
+    "expected_pareto_mean",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "generate_dataset",
+    "load_dataset",
+    "clear_dataset_cache",
+]

@@ -1,0 +1,218 @@
+"""Directed Chung–Lu random graphs with prescribed degree sequences.
+
+The Chung–Lu model draws each edge ``(u, v)`` independently with
+probability proportional to ``out_weight[u] * in_weight[v]``, which in
+expectation realises the prescribed out-/in-degree sequences.  Drawing
+all ``n^2`` Bernoulli trials is infeasible, so we use the standard
+"edge-skipping" equivalent: sample ``m`` endpoint pairs where sources
+are drawn proportional to out-weights and targets proportional to
+in-weights.  For heavy-tailed weights this reproduces the degree
+correlations that make forward push's frontier explode after a few hops
+— the behaviour the paper's experiments exercise.
+
+The generator guarantees no dead ends by construction when
+``ensure_min_out_degree`` is set: after sampling, any node that ended up
+with out-degree zero receives one edge to a weight-proportional target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graph.build import from_edge_arrays
+from repro.graph.digraph import DiGraph
+from repro.generators.powerlaw import sample_power_law_degrees, scale_degrees_to_total
+
+__all__ = ["chung_lu_digraph", "power_law_digraph"]
+
+
+def chung_lu_digraph(
+    out_weights: np.ndarray,
+    in_weights: np.ndarray,
+    num_edges: int,
+    *,
+    rng: np.random.Generator,
+    name: str = "chung-lu",
+    ensure_min_out_degree: int = 1,
+    max_resample_rounds: int = 64,
+) -> DiGraph:
+    """Sample a directed Chung–Lu graph.
+
+    Parameters
+    ----------
+    out_weights, in_weights:
+        Non-negative per-node weights; expected out-degree of ``u`` is
+        ``num_edges * out_weights[u] / sum(out_weights)`` (and dually
+        for in-degrees).
+    num_edges:
+        Number of distinct directed edges to aim for.  Duplicate
+        samples are resampled (up to ``max_resample_rounds``), so the
+        result has exactly ``num_edges`` edges unless the weight
+        structure makes that impossible, in which case slightly fewer.
+    ensure_min_out_degree:
+        After sampling, nodes below this out-degree receive extra
+        weight-proportional edges.  ``1`` (default) removes dead ends.
+    """
+    out_weights = np.asarray(out_weights, dtype=np.float64)
+    in_weights = np.asarray(in_weights, dtype=np.float64)
+    if out_weights.shape != in_weights.shape:
+        raise ParameterError("out_weights and in_weights must have equal length")
+    num_nodes = out_weights.shape[0]
+    if num_nodes == 0:
+        raise ParameterError("cannot generate a graph with zero nodes")
+    if num_edges < 0:
+        raise ParameterError(f"num_edges must be >= 0, got {num_edges}")
+    if np.any(out_weights < 0) or np.any(in_weights < 0):
+        raise ParameterError("weights must be non-negative")
+    if out_weights.sum() <= 0 or in_weights.sum() <= 0:
+        raise ParameterError("weights must not be all zero")
+
+    out_cdf = np.cumsum(out_weights) / out_weights.sum()
+    in_cdf = np.cumsum(in_weights) / in_weights.sum()
+
+    seen: set[int] = set()
+    sources_list: list[np.ndarray] = []
+    targets_list: list[np.ndarray] = []
+    needed = num_edges
+    for _ in range(max_resample_rounds):
+        if needed <= 0:
+            break
+        batch = max(needed + needed // 4, 16)
+        src = np.searchsorted(out_cdf, rng.random(batch)).astype(np.int64)
+        dst = np.searchsorted(in_cdf, rng.random(batch)).astype(np.int64)
+        keep_src, keep_dst = _filter_new_edges(src, dst, num_nodes, seen, needed)
+        sources_list.append(keep_src)
+        targets_list.append(keep_dst)
+        needed -= keep_src.shape[0]
+
+    sources = np.concatenate(sources_list) if sources_list else np.empty(0, np.int64)
+    targets = np.concatenate(targets_list) if targets_list else np.empty(0, np.int64)
+
+    if ensure_min_out_degree > 0:
+        sources, targets = _patch_out_degrees(
+            sources,
+            targets,
+            num_nodes,
+            in_cdf,
+            min_degree=ensure_min_out_degree,
+            seen=seen,
+            rng=rng,
+        )
+
+    return from_edge_arrays(
+        sources,
+        targets,
+        num_nodes=num_nodes,
+        name=name,
+        dedup=True,
+        drop_self_loops=False,  # already filtered during sampling
+    )
+
+
+def power_law_digraph(
+    num_nodes: int,
+    num_edges: int,
+    *,
+    exponent_out: float = 2.5,
+    exponent_in: float = 2.2,
+    rng: np.random.Generator,
+    name: str = "power-law",
+) -> DiGraph:
+    """Convenience wrapper: Chung–Lu with power-law in/out weights.
+
+    The two exponents default to typical social-network values and are
+    deliberately different so the graph is genuinely directed (in- and
+    out-degree of a node are only weakly correlated, as in web graphs).
+    """
+    if num_nodes <= 1:
+        raise ParameterError(f"need at least 2 nodes, got {num_nodes}")
+    out_deg = sample_power_law_degrees(
+        num_nodes, exponent=exponent_out, d_min=1, rng=rng
+    )
+    in_deg = sample_power_law_degrees(
+        num_nodes, exponent=exponent_in, d_min=1, rng=rng
+    )
+    out_deg = scale_degrees_to_total(out_deg, num_edges, d_min=1, rng=rng)
+    in_deg = scale_degrees_to_total(in_deg, num_edges, d_min=1, rng=rng)
+    return chung_lu_digraph(
+        out_deg.astype(np.float64),
+        in_deg.astype(np.float64),
+        num_edges,
+        rng=rng,
+        name=name,
+    )
+
+
+def _filter_new_edges(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_nodes: int,
+    seen: set[int],
+    needed: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Keep at most ``needed`` non-loop edges not yet in ``seen``."""
+    mask = src != dst
+    src, dst = src[mask], dst[mask]
+    keys = src * num_nodes + dst
+    keep_src: list[int] = []
+    keep_dst: list[int] = []
+    for s, d, key in zip(src.tolist(), dst.tolist(), keys.tolist()):
+        if key in seen:
+            continue
+        seen.add(key)
+        keep_src.append(s)
+        keep_dst.append(d)
+        if len(keep_src) >= needed:
+            break
+    return (
+        np.asarray(keep_src, dtype=np.int64),
+        np.asarray(keep_dst, dtype=np.int64),
+    )
+
+
+def _patch_out_degrees(
+    sources: np.ndarray,
+    targets: np.ndarray,
+    num_nodes: int,
+    in_cdf: np.ndarray,
+    *,
+    min_degree: int,
+    seen: set[int],
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Give every node at least ``min_degree`` out-edges."""
+    out_deg = np.bincount(sources, minlength=num_nodes)
+    deficient = np.flatnonzero(out_deg < min_degree)
+    extra_src: list[int] = []
+    extra_dst: list[int] = []
+    for node in deficient.tolist():
+        missing = min_degree - int(out_deg[node])
+        attempts = 0
+        while missing > 0 and attempts < 100:
+            attempts += 1
+            target = int(np.searchsorted(in_cdf, rng.random()))
+            if target == node:
+                continue
+            key = node * num_nodes + target
+            if key in seen:
+                continue
+            seen.add(key)
+            extra_src.append(node)
+            extra_dst.append(target)
+            missing -= 1
+        # Deterministic fallback for pathological weight vectors.
+        target = (node + 1) % num_nodes
+        while missing > 0:
+            if target != node and (node * num_nodes + target) not in seen:
+                seen.add(node * num_nodes + target)
+                extra_src.append(node)
+                extra_dst.append(target)
+                missing -= 1
+            target = (target + 1) % num_nodes
+    if not extra_src:
+        return sources, targets
+    return (
+        np.concatenate([sources, np.asarray(extra_src, dtype=np.int64)]),
+        np.concatenate([targets, np.asarray(extra_dst, dtype=np.int64)]),
+    )

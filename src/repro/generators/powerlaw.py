@@ -1,0 +1,133 @@
+"""Power-law degree-sequence sampling shared by the graph generators.
+
+Scale-free graphs — the regime in which the paper's complexity bounds
+for SpeedPPR hold (``m = O(n log n)``) — have degree distributions with
+a Pareto tail ``P(d >= x) ~ x^{1-alpha}``.  This module draws integer
+degree sequences from a discrete Pareto distribution via inverse
+transform sampling and rescales them to hit a target total degree, so a
+generator can match a dataset's density ``m/n`` exactly while keeping a
+heavy tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "sample_power_law_degrees",
+    "scale_degrees_to_total",
+    "expected_pareto_mean",
+]
+
+
+def sample_power_law_degrees(
+    num_nodes: int,
+    *,
+    exponent: float,
+    d_min: int = 1,
+    d_max: int | None = None,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``num_nodes`` degrees from a truncated discrete Pareto law.
+
+    Parameters
+    ----------
+    exponent:
+        Tail exponent ``alpha > 1`` of the density ``p(x) ~ x^-alpha``.
+        Social networks typically have ``2 < alpha < 3``.
+    d_min:
+        Minimum degree (inclusive); ``d_min >= 1`` guarantees no dead
+        ends when the sequence is used for out-degrees.
+    d_max:
+        Maximum degree (inclusive).  Defaults to ``num_nodes - 1``
+        (simple-graph cap).
+    """
+    if num_nodes <= 0:
+        return np.empty(0, dtype=np.int64)
+    if exponent <= 1.0:
+        raise ParameterError(f"power-law exponent must be > 1, got {exponent}")
+    if d_min < 1:
+        raise ParameterError(f"d_min must be >= 1, got {d_min}")
+    if d_max is None:
+        d_max = max(num_nodes - 1, d_min)
+    if d_max < d_min:
+        raise ParameterError(f"d_max={d_max} < d_min={d_min}")
+
+    # Inverse-transform sampling of the continuous Pareto restricted to
+    # [d_min, d_max + 1), then floor to integers.
+    u = rng.random(num_nodes)
+    one_minus_alpha = 1.0 - exponent
+    lo = float(d_min) ** one_minus_alpha
+    hi = float(d_max + 1) ** one_minus_alpha
+    samples = (lo + u * (hi - lo)) ** (1.0 / one_minus_alpha)
+    degrees = np.floor(samples).astype(np.int64)
+    return np.clip(degrees, d_min, d_max)
+
+
+def scale_degrees_to_total(
+    degrees: np.ndarray,
+    target_total: int,
+    *,
+    d_min: int = 1,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Rescale a degree sequence so it sums to ``target_total``.
+
+    Scaling is multiplicative (preserving the distribution's shape)
+    followed by stochastic rounding and a final exact adjustment that
+    adds/removes single units at random nodes while respecting
+    ``d_min``.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if degrees.shape[0] == 0:
+        return degrees
+    if target_total < d_min * degrees.shape[0]:
+        raise ParameterError(
+            f"target_total={target_total} cannot satisfy d_min={d_min} "
+            f"for {degrees.shape[0]} nodes"
+        )
+    current = int(degrees.sum())
+    if current == 0:
+        degrees = np.full_like(degrees, d_min)
+        current = int(degrees.sum())
+
+    scaled = degrees * (target_total / current)
+    floor = np.floor(scaled)
+    frac = scaled - floor
+    rounded = floor + (rng.random(degrees.shape[0]) < frac)
+    result = np.maximum(rounded.astype(np.int64), d_min)
+
+    # Exact correction: distribute the residual one unit at a time.
+    residual = target_total - int(result.sum())
+    while residual != 0:
+        step = 1 if residual > 0 else -1
+        count = abs(residual)
+        picks = rng.integers(0, result.shape[0], size=count)
+        for node in picks:
+            if step < 0 and result[node] <= d_min:
+                continue
+            result[node] += step
+            residual -= step
+            if residual == 0:
+                break
+    return result
+
+
+def expected_pareto_mean(exponent: float, d_min: int, d_max: int) -> float:
+    """Mean of the truncated continuous Pareto law used by the sampler.
+
+    Useful for choosing ``exponent``/``d_min`` pairs that land near a
+    target density before the exact rescaling step.
+    """
+    if exponent <= 1.0:
+        raise ParameterError(f"power-law exponent must be > 1, got {exponent}")
+    a = exponent
+    lo, hi = float(d_min), float(d_max + 1)
+    if abs(a - 2.0) < 1e-12:
+        numerator = np.log(hi / lo)
+    else:
+        numerator = (hi ** (2.0 - a) - lo ** (2.0 - a)) / (2.0 - a)
+    denominator = (hi ** (1.0 - a) - lo ** (1.0 - a)) / (1.0 - a)
+    return float(numerator / denominator)

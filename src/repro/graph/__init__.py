@@ -1,0 +1,53 @@
+"""Graph substrate: CSR directed graphs, builders, I/O, cleaning, stats.
+
+This subpackage is self-contained — it has no dependency on the PPR
+algorithms — and provides the data structures every other subpackage
+consumes.
+"""
+
+from repro.graph.build import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_adjacency,
+    from_edge_arrays,
+    from_edges,
+    paper_example_graph,
+    star_graph,
+)
+from repro.graph.cleaning import CleaningReport, clean, remove_isolated_nodes
+from repro.graph.digraph import DiGraph
+from repro.graph.io import (
+    load_npz,
+    parse_edge_list,
+    read_edge_list,
+    save_npz,
+    write_edge_list,
+)
+from repro.graph.stats import GraphStats, compute_stats
+from repro.graph.transforms import DeadEndRule, apply_dead_end_rule, symmetrize
+
+__all__ = [
+    "DiGraph",
+    "from_edges",
+    "from_edge_arrays",
+    "from_adjacency",
+    "empty_graph",
+    "complete_graph",
+    "cycle_graph",
+    "star_graph",
+    "paper_example_graph",
+    "CleaningReport",
+    "clean",
+    "remove_isolated_nodes",
+    "read_edge_list",
+    "parse_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+    "GraphStats",
+    "compute_stats",
+    "DeadEndRule",
+    "apply_dead_end_rule",
+    "symmetrize",
+]

@@ -1,0 +1,92 @@
+"""Graph transformations: symmetrisation and dead-end policies.
+
+The paper assumes (Section 2) that every node has out-degree at least 1,
+justified by a conceptual edge from each dead-end node back to the
+*source* of the walk.  That redirect is query-dependent, so most of our
+algorithms implement it at push/walk time; this module additionally
+offers *structural* policies that modify the graph once, which is what
+matrix-based methods (BePI) need because their precomputation cannot
+depend on the query source.
+
+Policies
+--------
+``redirect-to-source``
+    The paper's semantics.  Not a structural transform — returned
+    unchanged here; algorithms honour it through
+    :class:`repro.core.residues.DeadEndPolicy`.
+``self-loop``
+    Add ``(v, v)`` for each dead end.  A walk at ``v`` then loops until
+    it stops, which gives the same stationary behaviour as stopping at
+    ``v`` immediately (the walk can never leave), so PPR mass is
+    preserved node-for-node.
+``uniform-teleport``
+    Connect each dead end to every node.  This matches the classic
+    PageRank patch; it *changes* PPR values and is provided for
+    completeness and for stress tests only.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graph.build import from_edge_arrays
+from repro.graph.digraph import DiGraph
+
+__all__ = ["DeadEndRule", "symmetrize", "apply_dead_end_rule"]
+
+DeadEndRule = Literal["redirect-to-source", "self-loop", "uniform-teleport"]
+
+_VALID_RULES: tuple[str, ...] = (
+    "redirect-to-source",
+    "self-loop",
+    "uniform-teleport",
+)
+
+
+def symmetrize(graph: DiGraph) -> DiGraph:
+    """Return the undirected closure: every edge gains its reverse."""
+    sources, targets = graph.edge_array()
+    return from_edge_arrays(
+        np.concatenate([sources, targets]),
+        np.concatenate([targets, sources]),
+        num_nodes=graph.num_nodes,
+        name=graph.name,
+        dedup=True,
+        drop_self_loops=False,
+        undirected_origin=True,
+    )
+
+
+def apply_dead_end_rule(graph: DiGraph, rule: DeadEndRule) -> DiGraph:
+    """Structurally fix dead ends according to ``rule``.
+
+    ``redirect-to-source`` is query-dependent and therefore a no-op at
+    the graph level; it is listed so that callers can funnel every rule
+    through one function.
+    """
+    if rule not in _VALID_RULES:
+        raise ParameterError(
+            f"unknown dead-end rule {rule!r}; expected one of {_VALID_RULES}"
+        )
+    if rule == "redirect-to-source" or not graph.has_dead_ends:
+        return graph
+
+    dead = graph.dead_ends.astype(np.int64)
+    sources, targets = graph.edge_array()
+    if rule == "self-loop":
+        extra_sources, extra_targets = dead, dead
+    else:  # uniform-teleport
+        extra_sources = np.repeat(dead, graph.num_nodes)
+        extra_targets = np.tile(np.arange(graph.num_nodes), dead.shape[0])
+    return from_edge_arrays(
+        np.concatenate([sources, extra_sources]),
+        np.concatenate([targets, extra_targets]),
+        num_nodes=graph.num_nodes,
+        name=graph.name,
+        dedup=False,
+        drop_self_loops=False,
+        undirected_origin=graph.undirected_origin,
+    )

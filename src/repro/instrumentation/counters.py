@@ -1,0 +1,80 @@
+"""Operation counters shared by all push-based algorithms.
+
+The paper's Figure 6 plots the l1-error against the number of *residue
+updates* — every time a push operation adds mass to one out-neighbour's
+residue counts as one update (a push on ``v`` therefore contributes
+``d_v`` updates, called "edge pushings" in the paper).  Counting
+operations instead of seconds makes the reproduction robust to
+interpreter overhead, so every algorithm maintains a
+:class:`PushCounters` instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PushCounters"]
+
+
+@dataclass
+class PushCounters:
+    """Mutable tally of the work a push algorithm has performed."""
+
+    pushes: int = 0
+    """Number of push operations (nodes processed)."""
+
+    residue_updates: int = 0
+    """Number of single-residue increments — Figure 6's x-axis."""
+
+    iterations: int = 0
+    """Completed iterations/sweeps (0 for purely asynchronous runs)."""
+
+    queue_appends: int = 0
+    """Nodes appended to the FIFO queue (queue-phase bookkeeping)."""
+
+    random_walks: int = 0
+    """Random walks performed (Monte-Carlo phases only)."""
+
+    walk_steps: int = 0
+    """Total steps taken by those walks."""
+
+    extras: dict[str, int] = field(default_factory=dict)
+    """Free-form named counters (e.g. epochs used by PowerPush)."""
+
+    def count_push(self, degree: int) -> None:
+        """Record one push on a node of out-degree ``degree``."""
+        self.pushes += 1
+        self.residue_updates += degree
+
+    def count_bulk_pushes(self, num_nodes: int, num_updates: int) -> None:
+        """Record a vectorised sweep pushing ``num_nodes`` nodes at once."""
+        self.pushes += num_nodes
+        self.residue_updates += num_updates
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        """Increment a free-form named counter."""
+        self.extras[key] = self.extras.get(key, 0) + amount
+
+    def merge(self, other: "PushCounters") -> None:
+        """Accumulate another counter set into this one (phase merging)."""
+        self.pushes += other.pushes
+        self.residue_updates += other.residue_updates
+        self.iterations += other.iterations
+        self.queue_appends += other.queue_appends
+        self.random_walks += other.random_walks
+        self.walk_steps += other.walk_steps
+        for key, value in other.extras.items():
+            self.bump(key, value)
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat dictionary for report printing."""
+        data = {
+            "pushes": self.pushes,
+            "residue_updates": self.residue_updates,
+            "iterations": self.iterations,
+            "queue_appends": self.queue_appends,
+            "random_walks": self.random_walks,
+            "walk_steps": self.walk_steps,
+        }
+        data.update(self.extras)
+        return data

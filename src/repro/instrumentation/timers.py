@@ -1,0 +1,55 @@
+"""Tiny wall-clock helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Stopwatch", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    >>> watch = Stopwatch()
+    >>> with watch.lap("phase-1"):
+    ...     pass
+    >>> "phase-1" in watch.laps
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def lap(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.laps[name] = self.laps.get(name, 0.0) + elapsed
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded laps, in seconds."""
+        return sum(self.laps.values())
+
+
+@contextmanager
+def timed() -> Iterator[list[float]]:
+    """Context manager yielding a one-element list of elapsed seconds.
+
+    >>> with timed() as t:
+    ...     pass
+    >>> t[0] >= 0.0
+    True
+    """
+    holder = [0.0]
+    start = time.perf_counter()
+    try:
+        yield holder
+    finally:
+        holder[0] = time.perf_counter() - start

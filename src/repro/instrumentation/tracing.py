@@ -1,0 +1,107 @@
+"""Convergence tracing for Figures 5 and 6.
+
+A :class:`ConvergenceTrace` records ``(residue_updates, seconds, r_sum)``
+triples while an algorithm runs.  The paper samples "at the moments of
+every 4m edge pushings"; :class:`ConvergenceTrace` reproduces that with
+a configurable stride, and algorithms call :meth:`maybe_record` at
+convenient boundaries (iteration ends, queue batches).
+
+Traces convert to the two figure axes directly:
+
+* Figure 5: ``seconds``  vs ``r_sum`` (the actual l1-error),
+* Figure 6: ``residue_updates`` vs ``r_sum``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["TracePoint", "ConvergenceTrace"]
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One sample of algorithm progress."""
+
+    residue_updates: int
+    seconds: float
+    r_sum: float
+
+
+@dataclass
+class ConvergenceTrace:
+    """Append-only record of an algorithm's error trajectory.
+
+    Parameters
+    ----------
+    stride:
+        Minimum number of residue updates between recorded points.  The
+        paper uses ``4 * m``; pass that when the graph is known.  A
+        stride of 0 records every call.
+    """
+
+    stride: int = 0
+    points: list[TracePoint] = field(default_factory=list)
+    _started_at: float = field(default_factory=time.perf_counter, repr=False)
+    _last_recorded_updates: int = field(default=-1, repr=False)
+
+    def restart_clock(self) -> None:
+        """Reset the elapsed-time origin (call right before the run)."""
+        self._started_at = time.perf_counter()
+
+    def record(self, residue_updates: int, r_sum: float) -> None:
+        """Unconditionally append a sample."""
+        self.points.append(
+            TracePoint(
+                residue_updates=residue_updates,
+                seconds=time.perf_counter() - self._started_at,
+                r_sum=float(r_sum),
+            )
+        )
+        self._last_recorded_updates = residue_updates
+
+    def maybe_record(self, residue_updates: int, r_sum: float) -> None:
+        """Append a sample if at least ``stride`` updates passed.
+
+        The first call on a fresh trace always records.
+        """
+        if (
+            self._last_recorded_updates < 0
+            or residue_updates - self._last_recorded_updates >= self.stride
+        ):
+            self.record(residue_updates, r_sum)
+
+    # ------------------------------------------------------------------
+    # Figure axes
+    # ------------------------------------------------------------------
+    def series_vs_time(self) -> tuple[list[float], list[float]]:
+        """``(seconds, r_sum)`` series — Figure 5 axes."""
+        return (
+            [p.seconds for p in self.points],
+            [p.r_sum for p in self.points],
+        )
+
+    def series_vs_updates(self) -> tuple[list[int], list[float]]:
+        """``(residue_updates, r_sum)`` series — Figure 6 axes."""
+        return (
+            [p.residue_updates for p in self.points],
+            [p.r_sum for p in self.points],
+        )
+
+    def time_to_error(self, threshold: float) -> float | None:
+        """Seconds needed to first reach ``r_sum <= threshold``."""
+        for point in self.points:
+            if point.r_sum <= threshold:
+                return point.seconds
+        return None
+
+    def updates_to_error(self, threshold: float) -> int | None:
+        """Residue updates needed to first reach ``r_sum <= threshold``."""
+        for point in self.points:
+            if point.r_sum <= threshold:
+                return point.residue_updates
+        return None
+
+    def __len__(self) -> int:
+        return len(self.points)

@@ -1,0 +1,35 @@
+"""Evaluation metrics: error norms, ranking quality, ground truth."""
+
+from repro.metrics.errors import (
+    l1_error,
+    l2_error,
+    max_absolute_error,
+    max_relative_error,
+    relative_error_violations,
+)
+from repro.metrics.ground_truth import (
+    clear_ground_truth_cache,
+    exact_ppr_dense,
+    ground_truth_ppr,
+)
+from repro.metrics.ranking import (
+    kendall_tau_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    top_k_nodes,
+)
+
+__all__ = [
+    "l1_error",
+    "l2_error",
+    "max_absolute_error",
+    "max_relative_error",
+    "relative_error_violations",
+    "exact_ppr_dense",
+    "ground_truth_ppr",
+    "clear_ground_truth_cache",
+    "top_k_nodes",
+    "precision_at_k",
+    "ndcg_at_k",
+    "kendall_tau_at_k",
+]

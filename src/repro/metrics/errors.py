@@ -1,0 +1,78 @@
+"""Error measures used throughout the paper's evaluation (Section 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "l1_error",
+    "l2_error",
+    "max_absolute_error",
+    "max_relative_error",
+    "relative_error_violations",
+]
+
+
+def _check_pair(estimate: np.ndarray, truth: np.ndarray) -> None:
+    if estimate.shape != truth.shape:
+        raise ParameterError(
+            f"shape mismatch: estimate {estimate.shape} vs truth {truth.shape}"
+        )
+
+
+def l1_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """``||estimate - truth||_1`` — the paper's headline error metric."""
+    _check_pair(estimate, truth)
+    return float(np.abs(estimate - truth).sum())
+
+
+def l2_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """``||estimate - truth||_2`` — BePI's convergence measure."""
+    _check_pair(estimate, truth)
+    return float(np.linalg.norm(estimate - truth))
+
+
+def max_absolute_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """``max_v |estimate_v - truth_v|``."""
+    _check_pair(estimate, truth)
+    if estimate.size == 0:
+        return 0.0
+    return float(np.abs(estimate - truth).max())
+
+
+def max_relative_error(
+    estimate: np.ndarray,
+    truth: np.ndarray,
+    *,
+    mu: float,
+) -> float:
+    """Largest relative error over nodes with ``truth >= mu``.
+
+    This is the quantity the Approx-SSPPR contract bounds by ``eps``
+    (Section 2).  Returns 0 when no node passes the threshold.
+    """
+    _check_pair(estimate, truth)
+    mask = truth >= mu
+    if not np.any(mask):
+        return 0.0
+    return float(
+        (np.abs(estimate[mask] - truth[mask]) / truth[mask]).max()
+    )
+
+
+def relative_error_violations(
+    estimate: np.ndarray,
+    truth: np.ndarray,
+    *,
+    mu: float,
+    epsilon: float,
+) -> int:
+    """Number of nodes with ``truth >= mu`` whose relative error exceeds eps."""
+    _check_pair(estimate, truth)
+    mask = truth >= mu
+    if not np.any(mask):
+        return 0
+    rel = np.abs(estimate[mask] - truth[mask]) / truth[mask]
+    return int((rel > epsilon).sum())

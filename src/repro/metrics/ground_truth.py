@@ -1,0 +1,107 @@
+"""Ground-truth PPR computation.
+
+Two routes:
+
+* :func:`exact_ppr_dense` — direct dense solve of Eq. 1, feasible for
+  small graphs only; the oracle for unit tests.
+* :func:`ground_truth_ppr` — Power Iteration pushed to a very small
+  threshold (default ``1e-14``; the paper uses ``1e-17`` with C++
+  doubles — see DESIGN.md, Substitutions), cached per
+  ``(graph, source, alpha)`` for the experiment harness, which
+  evaluates every approximate algorithm against the same truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.power_iteration import power_iteration
+from repro.core.residues import DeadEndPolicy
+from repro.core.validation import check_alpha, check_source
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["exact_ppr_dense", "ground_truth_ppr", "clear_ground_truth_cache"]
+
+_GT_CACHE: dict[tuple[int, int, float, str], np.ndarray] = {}
+
+
+def exact_ppr_dense(
+    graph: DiGraph,
+    source: int,
+    *,
+    alpha: float = 0.2,
+    dead_end_policy: DeadEndPolicy = "redirect-to-source",
+    max_nodes: int = 2000,
+) -> np.ndarray:
+    """Solve ``pi = alpha e_s + (1 - alpha) pi P`` exactly (dense).
+
+    Dead ends are patched into ``P`` according to ``dead_end_policy``
+    (row = ``e_s`` for redirect-to-source, uniform row for teleport),
+    which makes this the exact semantics every algorithm targets.
+    """
+    check_alpha(alpha)
+    check_source(graph, source)
+    n = graph.num_nodes
+    if n == 0:
+        raise ParameterError("cannot solve on an empty graph")
+    if n > max_nodes:
+        raise ParameterError(
+            f"dense solve capped at {max_nodes} nodes (got {n}); "
+            "use ground_truth_ppr instead"
+        )
+
+    transition = np.zeros((n, n), dtype=np.float64)
+    for v in range(n):
+        neighbors = graph.out_neighbors(v)
+        if neighbors.shape[0]:
+            np.add.at(
+                transition[v], neighbors, 1.0 / neighbors.shape[0]
+            )
+        elif dead_end_policy == "redirect-to-source":
+            transition[v, source] = 1.0
+        elif dead_end_policy == "uniform-teleport":
+            transition[v, :] = 1.0 / n
+        else:
+            raise ParameterError(
+                "self-loop policy must be applied structurally before "
+                "calling exact_ppr_dense"
+            )
+
+    e_s = np.zeros(n, dtype=np.float64)
+    e_s[source] = 1.0
+    # pi (I - (1 - alpha) P) = alpha e_s   =>   solve the transpose.
+    coefficient = np.eye(n) - (1.0 - alpha) * transition.T
+    return np.linalg.solve(coefficient, alpha * e_s)
+
+
+def ground_truth_ppr(
+    graph: DiGraph,
+    source: int,
+    *,
+    alpha: float = 0.2,
+    l1_threshold: float = 1e-14,
+    dead_end_policy: DeadEndPolicy = "redirect-to-source",
+    use_cache: bool = True,
+) -> np.ndarray:
+    """High-precision PPR via PowItr, cached for reuse across metrics."""
+    key = (id(graph), source, alpha, dead_end_policy)
+    if use_cache and key in _GT_CACHE:
+        return _GT_CACHE[key]
+    result = power_iteration(
+        graph,
+        source,
+        alpha=alpha,
+        l1_threshold=l1_threshold,
+        dead_end_policy=dead_end_policy,
+    )
+    truth = result.estimate
+    truth.flags.writeable = False
+    if use_cache:
+        _GT_CACHE[key] = truth
+    return truth
+
+
+def clear_ground_truth_cache() -> None:
+    """Drop all cached ground-truth vectors."""
+    _GT_CACHE.clear()

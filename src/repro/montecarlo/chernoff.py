@@ -1,0 +1,58 @@
+"""The Chernoff-bound walk count ``W`` (paper Eq. 12).
+
+To estimate every PPR value ``pi(s, v) >= mu`` within relative error
+``eps`` with failure probability at most ``p_fail``, the Monte-Carlo
+method needs
+
+    ``W = 2 * (2 * eps / 3 + 2) * ln(1 / p_fail) / (eps^2 * mu)``
+
+independent walks (the paper states the formula with
+``p_fail = 1/n``, giving the ``log n`` numerator).  All approximate
+algorithms in this library (MonteCarlo, FORA, SpeedPPR) share this one
+implementation so their walk budgets are directly comparable.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.validation import (
+    check_epsilon,
+    check_failure_probability,
+    check_mu,
+)
+
+__all__ = ["chernoff_walk_count", "default_mu", "default_failure_probability"]
+
+
+def default_mu(num_nodes: int) -> float:
+    """The conventional threshold ``mu = 1/n`` (Section 2)."""
+    return 1.0 / max(num_nodes, 1)
+
+
+def default_failure_probability(num_nodes: int) -> float:
+    """The conventional failure probability ``1/n``."""
+    return 1.0 / max(num_nodes, 2)
+
+
+def chernoff_walk_count(
+    epsilon: float,
+    mu: float,
+    *,
+    p_fail: float,
+) -> int:
+    """Number of walks ``W`` required by Eq. 12 (rounded up).
+
+    >>> chernoff_walk_count(0.5, 0.25, p_fail=math.exp(-1))
+    75
+    """
+    check_epsilon(epsilon)
+    check_mu(mu)
+    check_failure_probability(p_fail)
+    w = (
+        2.0
+        * (2.0 * epsilon / 3.0 + 2.0)
+        * math.log(1.0 / p_fail)
+        / (epsilon * epsilon * mu)
+    )
+    return int(math.ceil(w))

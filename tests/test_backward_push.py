@@ -1,0 +1,98 @@
+"""Tests for the Backward Push extension (single-target PPR)."""
+
+import numpy as np
+import pytest
+
+from repro.core.backward_push import backward_push
+from repro.errors import ConvergenceError, ParameterError
+from repro.graph.build import cycle_graph
+from repro.metrics.ground_truth import exact_ppr_dense
+
+
+def _exact_column(graph, target, alpha=0.2):
+    """pi(v, target) for every v, from the dense row solves."""
+    return np.array(
+        [
+            exact_ppr_dense(graph, v, alpha=alpha, max_nodes=1000)[target]
+            for v in range(graph.num_nodes)
+        ]
+    )
+
+
+class TestCorrectness:
+    def test_additive_error_bound(self, paper_graph):
+        r_max = 1e-4
+        column = _exact_column(paper_graph, 2)
+        result = backward_push(paper_graph, 2, r_max=r_max)
+        errors = column - result.estimate
+        # One-sided underestimate within r_max per node.
+        assert np.all(errors >= -1e-12)
+        assert errors.max() <= r_max
+
+    def test_every_target_on_paper_graph(self, paper_graph):
+        for target in range(5):
+            column = _exact_column(paper_graph, target)
+            result = backward_push(paper_graph, target, r_max=1e-8)
+            np.testing.assert_allclose(
+                result.estimate, column, atol=1e-7
+            )
+
+    def test_linearity_invariant_mid_run(self, paper_graph):
+        # pi(v, t) = p(v) + sum_u r(u) pi(v, u) holds at termination.
+        target = 1
+        result = backward_push(paper_graph, target, r_max=1e-3)
+        assert result.residue is not None
+        for v in range(5):
+            row_v = exact_ppr_dense(paper_graph, v)
+            reconstructed = result.estimate[v] + float(
+                np.dot(result.residue, row_v)
+            )
+            assert reconstructed == pytest.approx(
+                row_v[target], abs=1e-10
+            )
+
+    def test_on_cycle(self):
+        graph = cycle_graph(6)
+        column = _exact_column(graph, 0)
+        result = backward_push(graph, 0, r_max=1e-9)
+        np.testing.assert_allclose(result.estimate, column, atol=1e-8)
+
+    def test_medium_graph_spot_check(self, medium_graph):
+        target = 7
+        result = backward_push(medium_graph, target, r_max=1e-7)
+        # Cross-check a few sources against the forward ground truth.
+        from repro.metrics.ground_truth import ground_truth_ppr
+
+        for source in (0, 3, 11):
+            forward = ground_truth_ppr(medium_graph, source)[target]
+            assert result.estimate[source] == pytest.approx(
+                forward, abs=1e-6
+            )
+
+
+class TestBehaviour:
+    def test_popular_target_touches_more(self, medium_graph):
+        in_degree = medium_graph.in_degree
+        popular = int(np.argmax(in_degree))
+        lonely = int(np.argmin(in_degree))
+        busy = backward_push(medium_graph, popular, r_max=1e-5)
+        quiet = backward_push(medium_graph, lonely, r_max=1e-5)
+        assert (
+            busy.counters.residue_updates
+            >= quiet.counters.residue_updates
+        )
+
+    def test_rejects_dead_ends(self, dead_end_graph):
+        with pytest.raises(ParameterError):
+            backward_push(dead_end_graph, 0)
+
+    def test_rejects_bad_r_max(self, paper_graph):
+        with pytest.raises(ParameterError):
+            backward_push(paper_graph, 0, r_max=0.0)
+
+    def test_push_cap(self, paper_graph):
+        with pytest.raises(ConvergenceError):
+            backward_push(paper_graph, 0, r_max=1e-10, max_pushes=2)
+
+    def test_method_name(self, paper_graph):
+        assert backward_push(paper_graph, 0).method == "BackwardPush"

@@ -1,0 +1,87 @@
+"""Tests for the BEAR baseline (explicit-inverse block elimination)."""
+
+import numpy as np
+import pytest
+
+from repro.bepi.bear import bear_query, build_bear_index
+from repro.bepi.blockelim import build_bepi_index
+from repro.errors import IndexBuildError
+from repro.graph.build import cycle_graph
+from repro.metrics.errors import l1_error
+from repro.metrics.ground_truth import exact_ppr_dense, ground_truth_ppr
+
+
+class TestBearIndex:
+    def test_build(self, medium_graph):
+        index = build_bear_index(medium_graph)
+        assert index.num_spokes + index.num_hubs == medium_graph.num_nodes
+        assert index.size_bytes > 0
+
+    def test_rejects_dead_ends(self, dead_end_graph):
+        with pytest.raises(IndexBuildError):
+            build_bear_index(dead_end_graph)
+
+    def test_rejects_oversized_blocks(self, medium_graph):
+        with pytest.raises(IndexBuildError):
+            build_bear_index(medium_graph, max_block_size=1)
+
+    def test_graph_mismatch_detected(self, medium_graph):
+        index = build_bear_index(medium_graph)
+        with pytest.raises(IndexBuildError):
+            index.check_graph(cycle_graph(4))
+
+    def test_denser_than_bepi_lu(self, medium_graph):
+        # BEAR's explicit inverses fill the spoke blocks; BePI's sparse
+        # LU factors do not — the §7 size comparison.
+        bear = build_bear_index(medium_graph)
+        bepi = build_bepi_index(medium_graph)
+        assert bear.size_bytes >= 0.5 * bepi.size_bytes  # same ballpark
+        # The inverse block-diagonal is at least as dense as H11.
+        assert bear.h11_inv.nnz >= bear.num_spokes
+
+
+class TestBearQuery:
+    def test_exact_on_paper_graph(self, paper_graph):
+        index = build_bear_index(paper_graph, wing_width=1)
+        for source in range(5):
+            truth = exact_ppr_dense(paper_graph, source)
+            result = bear_query(paper_graph, index, source)
+            assert l1_error(result.estimate, truth) <= 1e-10, source
+
+    def test_exact_on_medium_graph(self, medium_graph):
+        index = build_bear_index(medium_graph)
+        truth = np.asarray(
+            ground_truth_ppr(medium_graph, 5, l1_threshold=1e-13)
+        )
+        result = bear_query(medium_graph, index, 5)
+        assert l1_error(result.estimate, truth) <= 1e-9
+
+    def test_direct_solve_beats_bepi_accuracy_at_loose_delta(
+        self, medium_graph
+    ):
+        from repro.bepi.solver import bepi_query
+
+        bear_index = build_bear_index(medium_graph)
+        bepi_index = build_bepi_index(medium_graph)
+        truth = np.asarray(
+            ground_truth_ppr(medium_graph, 2, l1_threshold=1e-13)
+        )
+        bear_error = l1_error(
+            bear_query(medium_graph, bear_index, 2).estimate, truth
+        )
+        bepi_loose_error = l1_error(
+            bepi_query(medium_graph, bepi_index, 2, delta=1e-3).estimate,
+            truth,
+        )
+        assert bear_error <= bepi_loose_error
+
+    def test_method_name(self, paper_graph):
+        index = build_bear_index(paper_graph, wing_width=1)
+        assert bear_query(paper_graph, index, 0).method == "BEAR"
+
+    def test_works_on_cycle(self):
+        graph = cycle_graph(10)
+        index = build_bear_index(graph, wing_width=2)
+        truth = exact_ppr_dense(graph, 4)
+        result = bear_query(graph, index, 4)
+        assert l1_error(result.estimate, truth) <= 1e-10

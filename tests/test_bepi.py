@@ -1,0 +1,149 @@
+"""Unit tests for the BePI comparator (SlashBurn + block elimination)."""
+
+import numpy as np
+import pytest
+
+from repro.bepi.blockelim import build_bepi_index
+from repro.bepi.slashburn import slashburn
+from repro.bepi.solver import bepi_query
+from repro.errors import IndexBuildError, ParameterError
+from repro.graph.build import cycle_graph, from_edges, star_graph
+from repro.metrics.errors import l1_error
+from repro.metrics.ground_truth import exact_ppr_dense, ground_truth_ppr
+
+
+class TestSlashBurn:
+    def test_order_is_permutation(self, medium_graph):
+        result = slashburn(medium_graph)
+        assert sorted(result.order.tolist()) == list(
+            range(medium_graph.num_nodes)
+        )
+
+    def test_inverse_order(self, medium_graph):
+        result = slashburn(medium_graph)
+        inverse = result.inverse_order()
+        np.testing.assert_array_equal(
+            result.order[inverse], np.arange(medium_graph.num_nodes)
+        )
+
+    def test_blocks_partition_spoke_region(self, medium_graph):
+        result = slashburn(medium_graph)
+        cursor = 0
+        for start, size in result.spoke_blocks:
+            assert start == cursor
+            assert size > 0
+            cursor += size
+        assert cursor == result.num_spokes
+
+    def test_hub_plus_spokes_is_n(self, medium_graph):
+        result = slashburn(medium_graph)
+        assert (
+            result.num_spokes + result.num_hubs
+            == medium_graph.num_nodes
+        )
+
+    def test_star_hub_found(self):
+        graph = star_graph(20)
+        result = slashburn(graph, wing_width=1)
+        # The hub of the star must be among the SlashBurn hubs.
+        hub_region = result.order[result.num_spokes :]
+        assert 0 in hub_region.tolist()
+
+    def test_block_diagonality(self, medium_graph):
+        # No edges between different spoke blocks (in either direction).
+        result = slashburn(medium_graph)
+        block_of = np.full(medium_graph.num_nodes, -1)
+        for block_id, (start, size) in enumerate(result.spoke_blocks):
+            members = result.order[start : start + size]
+            block_of[members] = block_id
+        sources, targets = medium_graph.edge_array()
+        for s, t in zip(sources.tolist(), targets.tolist()):
+            if block_of[s] >= 0 and block_of[t] >= 0:
+                assert block_of[s] == block_of[t], (s, t)
+
+    def test_rejects_bad_wing_width(self, medium_graph):
+        with pytest.raises(ParameterError):
+            slashburn(medium_graph, wing_width=0)
+
+    def test_rejects_empty_graph(self):
+        from repro.graph.build import empty_graph
+
+        with pytest.raises(ParameterError):
+            slashburn(empty_graph(0))
+
+
+class TestBePIIndex:
+    def test_build_on_medium_graph(self, medium_graph):
+        index = build_bepi_index(medium_graph)
+        assert index.num_spokes + index.num_hubs == medium_graph.num_nodes
+        assert index.size_bytes > 0
+        assert index.construction_seconds >= 0
+
+    def test_rejects_dead_ends(self, dead_end_graph):
+        with pytest.raises(IndexBuildError):
+            build_bepi_index(dead_end_graph)
+
+    def test_graph_mismatch_detected(self, medium_graph):
+        index = build_bepi_index(medium_graph)
+        with pytest.raises(IndexBuildError):
+            index.check_graph(cycle_graph(5))
+
+
+class TestBePIQuery:
+    def test_matches_dense_solve(self, paper_graph):
+        index = build_bepi_index(paper_graph, wing_width=1)
+        truth = exact_ppr_dense(paper_graph, 0)
+        result = bepi_query(paper_graph, index, 0, delta=1e-12)
+        assert l1_error(result.estimate, truth) <= 1e-8
+
+    def test_all_sources(self, paper_graph):
+        index = build_bepi_index(paper_graph, wing_width=1)
+        for source in range(5):
+            truth = exact_ppr_dense(paper_graph, source)
+            result = bepi_query(paper_graph, index, source, delta=1e-12)
+            assert l1_error(result.estimate, truth) <= 1e-8
+
+    def test_medium_graph_accuracy(self, medium_graph):
+        index = build_bepi_index(medium_graph)
+        truth = np.asarray(
+            ground_truth_ppr(medium_graph, 11, l1_threshold=1e-13)
+        )
+        result = bepi_query(medium_graph, index, 11, delta=1e-10)
+        assert l1_error(result.estimate, truth) <= 1e-6
+
+    def test_smaller_delta_is_more_accurate(self, medium_graph):
+        index = build_bepi_index(medium_graph)
+        truth = np.asarray(
+            ground_truth_ppr(medium_graph, 3, l1_threshold=1e-13)
+        )
+        loose = bepi_query(medium_graph, index, 3, delta=1e-2)
+        tight = bepi_query(medium_graph, index, 3, delta=1e-10)
+        assert l1_error(tight.estimate, truth) <= l1_error(
+            loose.estimate, truth
+        )
+
+    def test_delta_does_not_guarantee_l1(self, medium_graph):
+        # The paper's point: BePI's Delta is an l2 step criterion, not
+        # an l1-error bound — the actual error can exceed Delta.
+        index = build_bepi_index(medium_graph)
+        truth = np.asarray(
+            ground_truth_ppr(medium_graph, 3, l1_threshold=1e-13)
+        )
+        result = bepi_query(medium_graph, index, 3, delta=1e-8)
+        assert l1_error(result.estimate, truth) > 1e-12  # not exact
+
+    def test_rejects_bad_delta(self, medium_graph):
+        index = build_bepi_index(medium_graph)
+        with pytest.raises(ParameterError):
+            bepi_query(medium_graph, index, 0, delta=0.0)
+
+    def test_method_name(self, paper_graph):
+        index = build_bepi_index(paper_graph, wing_width=1)
+        assert bepi_query(paper_graph, index, 0).method == "BePI"
+
+    def test_works_on_cycle(self):
+        graph = cycle_graph(12)
+        index = build_bepi_index(graph, wing_width=2)
+        truth = exact_ppr_dense(graph, 5)
+        result = bepi_query(graph, index, 5, delta=1e-12)
+        assert l1_error(result.estimate, truth) <= 1e-8

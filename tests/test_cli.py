@@ -1,0 +1,71 @@
+"""Tests for the ``repro-ppr`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(["run", "F4", "--full"])
+        assert args.experiment == "F4"
+        assert args.full
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "dblp-s"])
+        assert args.method == "powerpush"
+        assert args.source == 0
+
+    def test_query_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "unknown-s"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "dblp-s" in out
+
+    def test_run_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "F99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "method",
+        ["powerpush", "powitr", "fwdpush", "speedppr", "fora", "resacc", "montecarlo"],
+    )
+    def test_query_every_method(self, capsys, monkeypatch, tmp_path, method):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+        code = main(
+            [
+                "query",
+                "dblp-s",
+                "--source",
+                "1",
+                "--method",
+                method,
+                "--epsilon",
+                "0.5",
+                "--top",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#1" in out
+
+    def test_run_t1_to_file(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+        monkeypatch.setenv("REPRO_BENCH_DATASETS", "dblp-s")
+        monkeypatch.setenv("REPRO_BENCH_SOURCES", "1")
+        out_file = tmp_path / "report.txt"
+        assert main(["run", "T1", "--out", str(out_file)]) == 0
+        assert "dblp-s" in out_file.read_text()

@@ -1,0 +1,103 @@
+"""Unit tests for Power Iteration."""
+
+import numpy as np
+import pytest
+
+from repro.core.power_iteration import power_iteration
+from repro.errors import ConvergenceError, NodeNotFoundError, ParameterError
+from repro.graph.build import cycle_graph, from_edges
+from repro.instrumentation.tracing import ConvergenceTrace
+from repro.metrics.errors import l1_error
+from repro.metrics.ground_truth import exact_ppr_dense
+
+
+class TestConvergence:
+    def test_error_bound_met(self, paper_graph):
+        truth = exact_ppr_dense(paper_graph, 0)
+        result = power_iteration(paper_graph, 0, l1_threshold=1e-10)
+        assert l1_error(result.estimate, truth) <= 1e-10
+
+    def test_r_sum_is_exact_error(self, paper_graph):
+        truth = exact_ppr_dense(paper_graph, 0)
+        result = power_iteration(paper_graph, 0, l1_threshold=1e-6)
+        assert result.r_sum == pytest.approx(
+            l1_error(result.estimate, truth), rel=1e-6
+        )
+
+    def test_iteration_count_matches_analytics(self, paper_graph):
+        # r_sum = 0.8^j; for lambda = 1e-6 we need exactly 62 sweeps.
+        result = power_iteration(paper_graph, 0, l1_threshold=1e-6)
+        import math
+
+        expected = math.ceil(math.log(1e-6) / math.log(0.8))
+        assert result.counters.iterations == expected
+
+    def test_estimate_sums_to_one_minus_error(self, paper_graph):
+        result = power_iteration(paper_graph, 0, l1_threshold=1e-8)
+        assert result.estimate.sum() == pytest.approx(1.0, abs=1e-7)
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(6)
+        truth = exact_ppr_dense(graph, 2)
+        result = power_iteration(graph, 2, l1_threshold=1e-12)
+        assert l1_error(result.estimate, truth) <= 1e-11
+
+    def test_different_alpha(self, paper_graph):
+        truth = exact_ppr_dense(paper_graph, 1, alpha=0.5)
+        result = power_iteration(
+            paper_graph, 1, alpha=0.5, l1_threshold=1e-10
+        )
+        assert l1_error(result.estimate, truth) <= 1e-10
+
+    def test_dead_end_redirect_semantics(self, dead_end_graph):
+        truth = exact_ppr_dense(dead_end_graph, 0)
+        result = power_iteration(dead_end_graph, 0, l1_threshold=1e-12)
+        assert l1_error(result.estimate, truth) <= 1e-10
+
+    def test_dead_end_uniform_semantics(self, dead_end_graph):
+        truth = exact_ppr_dense(
+            dead_end_graph, 0, dead_end_policy="uniform-teleport"
+        )
+        result = power_iteration(
+            dead_end_graph,
+            0,
+            l1_threshold=1e-12,
+            dead_end_policy="uniform-teleport",
+        )
+        assert l1_error(result.estimate, truth) <= 1e-10
+
+
+class TestValidation:
+    def test_rejects_bad_lambda(self, paper_graph):
+        with pytest.raises(ParameterError):
+            power_iteration(paper_graph, 0, l1_threshold=0.0)
+        with pytest.raises(ParameterError):
+            power_iteration(paper_graph, 0, l1_threshold=1.5)
+
+    def test_rejects_bad_source(self, paper_graph):
+        with pytest.raises(NodeNotFoundError):
+            power_iteration(paper_graph, 99)
+
+    def test_iteration_cap_raises(self, paper_graph):
+        with pytest.raises(ConvergenceError):
+            power_iteration(
+                paper_graph, 0, l1_threshold=1e-10, max_iterations=3
+            )
+
+
+class TestInstrumentation:
+    def test_counters_bill_all_edges(self, paper_graph):
+        result = power_iteration(paper_graph, 0, l1_threshold=1e-4)
+        m = paper_graph.num_edges
+        assert result.counters.residue_updates == result.counters.iterations * m
+
+    def test_trace_records_decay(self, paper_graph):
+        trace = ConvergenceTrace(stride=0)
+        power_iteration(paper_graph, 0, l1_threshold=1e-4, trace=trace)
+        _, errors = trace.series_vs_time()
+        assert errors[0] == 1.0
+        assert errors[-1] <= 1e-4
+        assert all(a >= b for a, b in zip(errors, errors[1:]))
+
+    def test_method_name(self, paper_graph):
+        assert power_iteration(paper_graph, 0).method == "PowItr"

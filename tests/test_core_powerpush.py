@@ -1,0 +1,159 @@
+"""Unit tests for PowerPush (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.powerpush import PowerPushConfig, power_push
+from repro.errors import ParameterError
+from repro.graph.build import cycle_graph, empty_graph, from_edges
+from repro.instrumentation.tracing import ConvergenceTrace
+from repro.metrics.errors import l1_error
+from repro.metrics.ground_truth import exact_ppr_dense
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("mode", ["faithful", "vectorized"])
+    def test_error_bound_met(self, paper_graph, mode):
+        truth = exact_ppr_dense(paper_graph, 0)
+        result = power_push(
+            paper_graph, 0, l1_threshold=1e-9, mode=mode
+        )
+        assert l1_error(result.estimate, truth) <= 1e-9
+
+    @pytest.mark.parametrize("mode", ["faithful", "vectorized"])
+    def test_r_sum_below_lambda(self, paper_graph, mode):
+        result = power_push(
+            paper_graph, 0, l1_threshold=1e-7, mode=mode
+        )
+        assert result.r_sum <= 1e-7
+
+    def test_modes_agree(self, medium_graph):
+        faithful = power_push(
+            medium_graph, 9, l1_threshold=1e-7, mode="faithful"
+        )
+        vectorized = power_push(
+            medium_graph, 9, l1_threshold=1e-7, mode="vectorized"
+        )
+        assert (
+            np.abs(faithful.estimate - vectorized.estimate).sum() <= 2e-7
+        )
+
+    def test_all_sources_on_small_graph(self, paper_graph):
+        for source in range(5):
+            truth = exact_ppr_dense(paper_graph, source)
+            result = power_push(paper_graph, source, l1_threshold=1e-10)
+            assert l1_error(result.estimate, truth) <= 1e-10
+
+    def test_dead_ends_redirect(self, dead_end_graph):
+        truth = exact_ppr_dense(dead_end_graph, 0)
+        result = power_push(dead_end_graph, 0, l1_threshold=1e-10)
+        assert l1_error(result.estimate, truth) <= 1e-10
+
+    def test_medium_graph_matches_ground_truth(self, medium_graph):
+        from repro.metrics.ground_truth import ground_truth_ppr
+
+        truth = ground_truth_ppr(medium_graph, 0, l1_threshold=1e-13)
+        result = power_push(medium_graph, 0, l1_threshold=1e-8)
+        assert l1_error(result.estimate, np.asarray(truth)) <= 1e-8
+
+    def test_empty_graph(self):
+        graph = empty_graph(3)
+        result = power_push(graph, 1, l1_threshold=1e-8)
+        np.testing.assert_allclose(result.estimate, [0, 1, 0])
+
+
+class TestConfig:
+    def test_rejects_bad_epochs(self):
+        with pytest.raises(ParameterError):
+            PowerPushConfig(epoch_num=0)
+
+    def test_rejects_negative_scan_fraction(self):
+        with pytest.raises(ParameterError):
+            PowerPushConfig(scan_threshold_fraction=-0.5)
+
+    def test_scan_threshold_scales_with_n(self):
+        config = PowerPushConfig(scan_threshold_fraction=0.25)
+        assert config.scan_threshold(400) == 100.0
+
+    @pytest.mark.parametrize(
+        "epoch_num,scan_fraction",
+        [(1, 0.25), (8, 0.0), (8, float("inf")), (4, 0.5)],
+    )
+    def test_all_config_corners_converge(
+        self, paper_graph, epoch_num, scan_fraction
+    ):
+        truth = exact_ppr_dense(paper_graph, 0)
+        config = PowerPushConfig(
+            epoch_num=epoch_num, scan_threshold_fraction=scan_fraction
+        )
+        result = power_push(
+            paper_graph, 0, l1_threshold=1e-8, config=config
+        )
+        assert l1_error(result.estimate, truth) <= 1e-8
+
+    def test_unknown_mode_rejected(self, paper_graph):
+        with pytest.raises(ParameterError):
+            power_push(paper_graph, 0, mode="quantum")  # type: ignore[arg-type]
+
+
+class TestEfficiencyProperties:
+    def test_fewer_updates_than_powitr(self, medium_graph):
+        from repro.core.power_iteration import power_iteration
+
+        pp = power_push(medium_graph, 4, l1_threshold=1e-8)
+        pi = power_iteration(medium_graph, 4, l1_threshold=1e-8)
+        assert (
+            pp.counters.residue_updates <= pi.counters.residue_updates
+        )
+
+    def test_epochs_counter_recorded(self, medium_graph):
+        result = power_push(medium_graph, 4, l1_threshold=1e-8)
+        assert result.counters.extras.get("epochs", 0) >= 1
+
+    def test_faithful_epochs_reduce_updates(self, medium_graph):
+        # The Section-5 dynamic-threshold claim, on the asynchronous
+        # scalar scan where accumulate-then-push pays off: 8 epochs
+        # need substantially fewer residue updates than 1.
+        with_epochs = power_push(
+            medium_graph,
+            0,
+            l1_threshold=1e-8,
+            mode="faithful",
+            config=PowerPushConfig(epoch_num=8),
+        )
+        without_epochs = power_push(
+            medium_graph,
+            0,
+            l1_threshold=1e-8,
+            mode="faithful",
+            config=PowerPushConfig(epoch_num=1),
+        )
+        assert (
+            with_epochs.counters.residue_updates
+            < 0.8 * without_epochs.counters.residue_updates
+        )
+
+    def test_trace_monotone_nonincreasing(self, medium_graph):
+        trace = ConvergenceTrace(stride=0)
+        power_push(medium_graph, 4, l1_threshold=1e-8, trace=trace)
+        _, errors = trace.series_vs_time()
+        assert errors[-1] <= 1e-8
+        assert all(a >= b - 1e-12 for a, b in zip(errors, errors[1:]))
+
+    def test_queue_phase_only_for_mild_threshold(self, paper_graph):
+        # With a mild threshold the queue phase alone finishes the job.
+        result = power_push(paper_graph, 0, l1_threshold=0.5)
+        assert result.r_sum <= 0.5
+
+
+class TestResultShape:
+    def test_method_name(self, paper_graph):
+        assert power_push(paper_graph, 0).method == "PowerPush"
+
+    def test_top_k(self, paper_graph):
+        result = power_push(paper_graph, 0, l1_threshold=1e-10)
+        top = result.top_k(2)
+        assert len(top) == 2
+        # The source holds the largest PPR on this graph.
+        assert top[0][0] == 0
+        assert top[0][1] > top[1][1]

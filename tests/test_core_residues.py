@@ -1,0 +1,153 @@
+"""Unit tests for PushState and the scalar push primitive."""
+
+import numpy as np
+import pytest
+
+from repro.core.residues import PushState
+from repro.errors import NodeNotFoundError, ParameterError
+from repro.graph.build import from_edges
+
+
+class TestInitialState:
+    def test_initial_vectors(self, paper_graph):
+        state = PushState(paper_graph, 0)
+        assert state.residue[0] == 1.0
+        assert state.residue.sum() == 1.0
+        assert state.reserve.sum() == 0.0
+        assert state.r_sum == 1.0
+
+    def test_rejects_bad_alpha(self, paper_graph):
+        with pytest.raises(ParameterError):
+            PushState(paper_graph, 0, alpha=0.0)
+        with pytest.raises(ParameterError):
+            PushState(paper_graph, 0, alpha=1.0)
+
+    def test_rejects_bad_source(self, paper_graph):
+        with pytest.raises(NodeNotFoundError):
+            PushState(paper_graph, 17)
+
+    def test_rejects_bad_policy(self, paper_graph):
+        with pytest.raises(ParameterError):
+            PushState(paper_graph, 0, dead_end_policy="nope")  # type: ignore[arg-type]
+
+
+class TestPushPrimitive:
+    def test_first_push_matches_figure2(self, paper_graph):
+        state = PushState(paper_graph, 0, alpha=0.2)
+        old = state.push(0)
+        assert old == 1.0
+        assert state.reserve[0] == pytest.approx(0.2)
+        assert state.residue[1] == pytest.approx(0.4)
+        assert state.residue[2] == pytest.approx(0.4)
+        assert state.residue[0] == 0.0
+
+    def test_push_conserves_mass(self, paper_graph):
+        state = PushState(paper_graph, 0)
+        for node in (0, 2, 1, 3, 4, 1):
+            state.push(node)
+            assert state.mass_total() == pytest.approx(1.0, abs=1e-12)
+
+    def test_push_zero_residue_is_noop(self, paper_graph):
+        state = PushState(paper_graph, 0)
+        state.push(3)  # node 3 has no residue yet
+        assert state.reserve[3] == 0.0
+        assert state.r_sum == 1.0
+
+    def test_incremental_r_sum_tracks_exact(self, paper_graph, rng):
+        state = PushState(paper_graph, 0)
+        for _ in range(50):
+            state.push(int(rng.integers(0, 5)))
+        assert state.r_sum == pytest.approx(state.residue.sum(), abs=1e-12)
+
+    def test_self_loop_mass_not_lost(self):
+        graph = from_edges(
+            [(0, 0), (0, 1), (1, 0)], drop_self_loops=False
+        )
+        state = PushState(graph, 0, alpha=0.2)
+        state.push(0)
+        # 0.8 split between the self-loop and node 1.
+        assert state.residue[0] == pytest.approx(0.4)
+        assert state.residue[1] == pytest.approx(0.4)
+        assert state.mass_total() == pytest.approx(1.0)
+
+    def test_counters_track_degrees(self, paper_graph):
+        state = PushState(paper_graph, 0)
+        state.push(0)
+        assert state.counters.pushes == 1
+        assert state.counters.residue_updates == 2  # d(v1) = 2
+        state.push(1)
+        assert state.counters.residue_updates == 6  # + d(v2) = 4
+
+
+class TestDeadEndPolicies:
+    def test_redirect_to_source(self, dead_end_graph):
+        state = PushState(dead_end_graph, 0)
+        state.push(0)  # each leaf receives 0.8 / 4 = 0.2
+        state.push(1)  # leaf: (1 - alpha) * 0.2 = 0.16 back to source
+        assert state.residue[0] == pytest.approx(0.16)
+        assert state.mass_total() == pytest.approx(1.0)
+
+    def test_uniform_teleport(self, dead_end_graph):
+        state = PushState(
+            dead_end_graph, 0, dead_end_policy="uniform-teleport"
+        )
+        state.push(0)
+        state.push(1)  # spreads (1 - alpha) * 0.2 = 0.16 over all 5
+        assert state.residue[4] == pytest.approx(0.2 + 0.16 / 5)
+        assert state.mass_total() == pytest.approx(1.0)
+
+    def test_self_loop_policy_requires_structural_fix(self, dead_end_graph):
+        state = PushState(dead_end_graph, 0, dead_end_policy="self-loop")
+        state.push(0)
+        with pytest.raises(ParameterError, match="structural"):
+            state.push(1)
+
+
+class TestActivity:
+    def test_active_definition(self, paper_graph):
+        state = PushState(paper_graph, 0)
+        # r(s, v1) = 1 > d_v1 * r_max = 2 * 0.4 -> active
+        assert state.is_active(0, 0.4)
+        # 1 > 2 * 0.5 is false -> inactive
+        assert not state.is_active(0, 0.5)
+
+    def test_active_mask_matches_scalar(self, paper_graph):
+        state = PushState(paper_graph, 0)
+        state.push(0)
+        r_max = 0.15
+        mask = state.active_mask(r_max)
+        for v in range(5):
+            assert mask[v] == state.is_active(v, r_max)
+
+    def test_dead_end_uses_conceptual_degree_one(self, dead_end_graph):
+        state = PushState(dead_end_graph, 0)
+        state.push(0)  # each leaf now holds r = 0.2
+        # Conceptual out-degree of a dead end is 1 (edge to the source):
+        # active iff r > 1 * r_max.
+        assert state.is_active(1, r_max=0.1)
+        assert not state.is_active(1, r_max=0.25)
+
+    def test_dead_end_conceptual_degree_uniform_policy(self, dead_end_graph):
+        state = PushState(
+            dead_end_graph, 0, dead_end_policy="uniform-teleport"
+        )
+        assert int(state.effective_out_degree[1]) == dead_end_graph.num_nodes
+
+    def test_active_nodes_sorted(self, paper_graph):
+        state = PushState(paper_graph, 0)
+        state.push(0)
+        nodes = state.active_nodes(0.01)
+        assert nodes.tolist() == sorted(nodes.tolist())
+
+
+class TestInvariantChecks:
+    def test_check_invariants_passes(self, paper_graph):
+        state = PushState(paper_graph, 0)
+        state.push(0)
+        state.check_invariants()
+
+    def test_check_invariants_catches_corruption(self, paper_graph):
+        state = PushState(paper_graph, 0)
+        state.residue[2] = -0.5
+        with pytest.raises(AssertionError):
+            state.check_invariants()

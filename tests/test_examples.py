@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs end to end.
+
+Run at a reduced dataset scale so the whole file stays fast; the
+scripts themselves are exercised exactly as a user would run them.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+_SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.fixture(autouse=True)
+def _small_scale(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.2")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    # Each example re-imports datasets through the in-memory cache;
+    # clear it so the scale override takes effect.
+    from repro.generators.datasets import clear_dataset_cache
+
+    clear_dataset_cache()
+    yield
+    clear_dataset_cache()
+
+
+def test_examples_exist():
+    assert "quickstart.py" in _SCRIPTS
+    assert len(_SCRIPTS) >= 3
+
+
+@pytest.mark.parametrize("script", _SCRIPTS)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{script} produced almost no output"

@@ -1,0 +1,178 @@
+"""Integration tests for the experiment runners (tiny configuration).
+
+Each runner executes end-to-end on one very small dataset and the
+result objects are checked for the *shape properties* the paper
+reports (see DESIGN.md's expected-shapes list).  These tests double as
+the regression net for the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.ablations import (
+    run_powerpush_ablation,
+    run_scheduling_ablation,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.runner import experiment_ids, run_experiment
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.workspace import Workspace
+
+
+@pytest.fixture(scope="module")
+def tiny_workspace(tmp_path_factory):
+    """One small dataset, two sources, two eps values."""
+    import os
+
+    os.environ.setdefault(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("ds-cache"))
+    )
+    config = ExperimentConfig(
+        datasets=("dblp-s",),
+        num_sources=2,
+        epsilons=(0.5, 0.2),
+        seed=7,
+    )
+    return Workspace(config)
+
+
+class TestTable1:
+    def test_rows_and_render(self, tiny_workspace):
+        result = run_table1(tiny_workspace)
+        assert set(result.stats) == {"dblp-s"}
+        text = result.render()
+        assert "dblp-s" in text and "DBLP" in text
+
+    def test_density_close_to_paper(self, tiny_workspace):
+        result = run_table1(tiny_workspace)
+        stat = result.stats["dblp-s"]
+        assert stat.average_degree == pytest.approx(6.62, rel=0.2)
+
+
+class TestTable2:
+    def test_shapes(self, tiny_workspace):
+        result = run_table2(tiny_workspace)
+        speed = result.get("dblp-s", "SpeedPPR")
+        fora_report = result.get("dblp-s", "FORA")
+        bepi = result.get("dblp-s", "BePI")
+        # Paper shape: SpeedPPR index smallest; FORA+ larger; BePI's
+        # matrices the largest.
+        assert speed.size_bytes < fora_report.size_bytes
+        assert speed.size_bytes < bepi.size_bytes
+        assert speed.construction_seconds < bepi.construction_seconds
+        assert "dblp-s" in result.render()
+
+    def test_missing_key_raises(self, tiny_workspace):
+        result = run_table2(tiny_workspace)
+        with pytest.raises(KeyError):
+            result.get("dblp-s", "Unknown")
+
+
+class TestFig4:
+    def test_all_methods_timed(self, tiny_workspace):
+        result = run_fig4(tiny_workspace)
+        by_method = result.seconds["dblp-s"]
+        assert set(by_method) == {
+            "PowerPush",
+            "BePI",
+            "FIFO-FwdPush",
+            "PowItr",
+        }
+        assert all(v > 0 for v in by_method.values())
+        assert "1.0x" in result.render()  # PowerPush's own ratio
+
+
+class TestFig5:
+    def test_series_shapes(self, tiny_workspace):
+        result = run_fig5(tiny_workspace)
+        curves = result.series["dblp-s"]
+        assert set(curves) == {
+            "PowerPush",
+            "PowItr",
+            "FIFO-FwdPush",
+            "BePI",
+        }
+        for name, (xs, ys) in curves.items():
+            assert len(xs) == len(ys) > 0, name
+        # Push methods reach the 1e-8-ish threshold.
+        assert min(curves["PowerPush"][1]) <= 1e-7
+        assert "Figure 5" in result.render()
+
+
+class TestFig6:
+    def test_updates_ordering(self, tiny_workspace):
+        result = run_fig6(tiny_workspace)
+        curves = result.series["dblp-s"]
+        assert "BePI" not in curves  # excluded, as in the paper
+        reach = result.updates_to_reach("dblp-s", 1e-6)
+        # PowerPush needs no more updates than PowItr (paper Figure 6).
+        assert reach["PowerPush"] <= reach["PowItr"]
+        assert "Figure 6" in result.render()
+
+
+class TestFig7:
+    def test_methods_and_monotonicity(self, tiny_workspace):
+        result = run_fig7(tiny_workspace)
+        by_method = result.seconds["dblp-s"]
+        assert len(by_method["SpeedPPR"]) == 2  # two eps values
+        text = result.render()
+        assert "SpeedPPR-Index" in text
+        # PowerPush is eps-independent: its two timings are similar.
+        pp = by_method["PowerPush"]
+        assert pp[0] == pytest.approx(pp[1], rel=2.0)
+
+
+class TestFig8:
+    def test_errors_positive_and_improving(self, tiny_workspace):
+        result = run_fig8(tiny_workspace)
+        by_method = result.errors["dblp-s"]
+        for method, errors in by_method.items():
+            assert all(e >= 0 for e in errors), method
+        # Tighter eps gives a no-worse l1-error for SpeedPPR.
+        speed = by_method["SpeedPPR"]
+        assert speed[-1] <= speed[0] * 1.5
+        assert "Figure 8" in result.render()
+
+
+class TestAblations:
+    def test_powerpush_grid(self, tiny_workspace):
+        result = run_powerpush_ablation(tiny_workspace)
+        assert len(result.seconds["dblp-s"]) == 4
+        assert "paper (8 epochs, n/4)" in result.render()
+
+    def test_scheduling(self, tiny_workspace):
+        result = run_scheduling_ablation(tiny_workspace)
+        pushes = result.pushes["dblp-s"]
+        assert set(pushes) == {"fifo", "lifo", "max-residue"}
+        assert all(v > 0 for v in pushes.values())
+        assert "fifo" in result.render()
+
+
+class TestRunnerRegistry:
+    def test_ids_match_design_doc(self):
+        assert experiment_ids() == [
+            "T1",
+            "T2",
+            "F4",
+            "F5",
+            "F6",
+            "F7",
+            "F8",
+            "A1",
+            "A2",
+        ]
+
+    def test_dispatch_case_insensitive(self, tiny_workspace):
+        result = run_experiment("t1", tiny_workspace)
+        assert "dblp-s" in result.render()
+
+    def test_unknown_id_rejected(self, tiny_workspace):
+        with pytest.raises(ParameterError):
+            run_experiment("F99", tiny_workspace)

@@ -1,0 +1,126 @@
+"""Tests for the extension features: global PageRank and top-k queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.pagerank import pagerank, preference_pagerank
+from repro.core.powerpush import power_push
+from repro.core.topk import top_k_ppr
+from repro.errors import ParameterError
+from repro.graph.build import complete_graph, cycle_graph, star_graph
+from repro.metrics.errors import l1_error
+from repro.metrics.ground_truth import exact_ppr_dense
+
+
+class TestPreferencePagerank:
+    def test_single_node_preference_equals_ssppr(self, paper_graph):
+        preference = np.zeros(5)
+        preference[0] = 1.0
+        general = preference_pagerank(
+            paper_graph, preference, alpha=0.2, l1_threshold=1e-10
+        )
+        single = power_push(paper_graph, 0, l1_threshold=1e-10)
+        assert l1_error(general.estimate, single.estimate) <= 2e-10
+
+    def test_two_seed_preference_is_linear_mix(self, paper_graph):
+        preference = np.zeros(5)
+        preference[0] = 0.3
+        preference[3] = 0.7
+        mixed = preference_pagerank(
+            paper_graph, preference, l1_threshold=1e-11
+        )
+        pi0 = exact_ppr_dense(paper_graph, 0)
+        pi3 = exact_ppr_dense(paper_graph, 3)
+        np.testing.assert_allclose(
+            mixed.estimate, 0.3 * pi0 + 0.7 * pi3, atol=1e-9
+        )
+
+    def test_preference_normalised(self, paper_graph):
+        # Unnormalised input is accepted and normalised.
+        result = preference_pagerank(
+            paper_graph, np.full(5, 2.0), l1_threshold=1e-9
+        )
+        assert result.estimate.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_rejects_bad_preference(self, paper_graph):
+        with pytest.raises(ParameterError):
+            preference_pagerank(paper_graph, np.zeros(5))
+        with pytest.raises(ParameterError):
+            preference_pagerank(paper_graph, -np.ones(5))
+        with pytest.raises(ParameterError):
+            preference_pagerank(paper_graph, np.ones(3))
+
+
+class TestGlobalPagerank:
+    def test_uniform_on_symmetric_graph(self):
+        graph = complete_graph(6)
+        result = pagerank(graph, l1_threshold=1e-12)
+        np.testing.assert_allclose(
+            result.estimate, np.full(6, 1 / 6), atol=1e-10
+        )
+
+    def test_cycle_is_uniform(self):
+        graph = cycle_graph(8)
+        result = pagerank(graph, l1_threshold=1e-12)
+        np.testing.assert_allclose(
+            result.estimate, np.full(8, 1 / 8), atol=1e-10
+        )
+
+    def test_star_hub_dominates(self):
+        graph = star_graph(10)
+        result = pagerank(graph, l1_threshold=1e-12)
+        assert result.estimate[0] > result.estimate[1:].max() * 2
+
+    def test_dead_ends_handled(self, dead_end_graph):
+        result = pagerank(dead_end_graph, l1_threshold=1e-10)
+        assert result.estimate.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_sums_to_one(self, medium_graph):
+        result = pagerank(medium_graph, l1_threshold=1e-10)
+        assert result.estimate.sum() == pytest.approx(1.0, abs=1e-8)
+
+
+class TestTopK:
+    def test_certified_matches_ground_truth(self, medium_graph):
+        truth = exact_ppr_dense(medium_graph, 3, max_nodes=1000)
+        answer = top_k_ppr(medium_graph, 3, k=10)
+        assert answer.certified
+        expected = set(np.argsort(-truth, kind="stable")[:10].tolist())
+        got = {node for node, _ in answer.ranking}
+        assert got == expected
+
+    def test_certificate_gap_exceeds_error(self, medium_graph):
+        answer = top_k_ppr(medium_graph, 5, k=5)
+        if answer.certified:
+            assert answer.gap > answer.result.r_sum
+
+    def test_k_larger_than_graph(self, paper_graph):
+        answer = top_k_ppr(paper_graph, 0, k=10)
+        assert len(answer.ranking) <= 5
+        assert answer.certified
+
+    def test_adaptive_threshold_tightens_when_needed(self, paper_graph):
+        # A tight race (k between near-equal nodes) forces refinement.
+        answer = top_k_ppr(
+            paper_graph, 0, k=2, initial_l1_threshold=0.5
+        )
+        assert answer.l1_threshold <= 0.5
+
+    def test_rejects_bad_parameters(self, paper_graph):
+        with pytest.raises(ParameterError):
+            top_k_ppr(paper_graph, 0, k=0)
+        with pytest.raises(ParameterError):
+            top_k_ppr(paper_graph, 0, k=1, shrink_factor=1.0)
+        with pytest.raises(ParameterError):
+            top_k_ppr(
+                paper_graph,
+                0,
+                k=1,
+                initial_l1_threshold=1e-10,
+                floor_l1_threshold=1e-3,
+            )
+
+    def test_ranking_descending(self, medium_graph):
+        answer = top_k_ppr(medium_graph, 1, k=8)
+        scores = [score for _, score in answer.ranking]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,230 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.generators.ba import barabasi_albert_digraph
+from repro.generators.chung_lu import chung_lu_digraph, power_law_digraph
+from repro.generators.datasets import (
+    DATASETS,
+    dataset_names,
+    generate_dataset,
+    load_dataset,
+)
+from repro.generators.powerlaw import (
+    expected_pareto_mean,
+    sample_power_law_degrees,
+    scale_degrees_to_total,
+)
+from repro.generators.rmat import rmat_digraph
+from repro.graph.stats import compute_stats
+
+
+class TestPowerLawSampling:
+    def test_respects_bounds(self, rng):
+        degrees = sample_power_law_degrees(
+            1000, exponent=2.5, d_min=2, d_max=50, rng=rng
+        )
+        assert degrees.min() >= 2
+        assert degrees.max() <= 50
+
+    def test_heavy_tail_present(self, rng):
+        degrees = sample_power_law_degrees(
+            5000, exponent=2.1, d_min=1, rng=rng
+        )
+        # A heavy-tailed sample has a max far above its mean.
+        assert degrees.max() > 10 * degrees.mean()
+
+    def test_rejects_bad_exponent(self, rng):
+        with pytest.raises(ParameterError):
+            sample_power_law_degrees(10, exponent=1.0, rng=rng)
+
+    def test_rejects_bad_dmin(self, rng):
+        with pytest.raises(ParameterError):
+            sample_power_law_degrees(10, exponent=2.0, d_min=0, rng=rng)
+
+    def test_empty(self, rng):
+        assert sample_power_law_degrees(0, exponent=2.5, rng=rng).shape == (0,)
+
+    def test_scale_to_total_exact(self, rng):
+        degrees = sample_power_law_degrees(500, exponent=2.5, rng=rng)
+        scaled = scale_degrees_to_total(degrees, 4000, rng=rng)
+        assert int(scaled.sum()) == 4000
+        assert scaled.min() >= 1
+
+    def test_scale_to_total_rejects_impossible(self, rng):
+        with pytest.raises(ParameterError):
+            scale_degrees_to_total(np.array([1, 1, 1]), 2, rng=rng)
+
+    def test_expected_mean_monotone_in_exponent(self):
+        low = expected_pareto_mean(2.1, 1, 1000)
+        high = expected_pareto_mean(3.0, 1, 1000)
+        assert low > high
+
+
+class TestChungLu:
+    def test_edge_count_and_no_dead_ends(self, rng):
+        graph = power_law_digraph(200, 1200, rng=rng)
+        assert graph.num_nodes == 200
+        # Dedup may shave a few edges; stay within 2%.
+        assert abs(graph.num_edges - 1200) <= 24
+        assert not graph.has_dead_ends
+
+    def test_no_self_loops(self, rng):
+        graph = power_law_digraph(100, 500, rng=rng)
+        sources, targets = graph.edge_array()
+        assert not np.any(sources == targets)
+
+    def test_degree_weight_correlation(self, rng):
+        # Nodes with 10x the out-weight should get many more out-edges.
+        weights_out = np.ones(100)
+        weights_out[:10] = 30.0
+        graph = chung_lu_digraph(
+            weights_out, np.ones(100), 800, rng=rng
+        )
+        heavy = graph.out_degree[:10].mean()
+        light = graph.out_degree[10:].mean()
+        assert heavy > 3 * light
+
+    def test_rejects_mismatched_weights(self, rng):
+        with pytest.raises(ParameterError):
+            chung_lu_digraph(np.ones(5), np.ones(6), 10, rng=rng)
+
+    def test_rejects_negative_weights(self, rng):
+        with pytest.raises(ParameterError):
+            chung_lu_digraph(
+                np.array([-1.0, 1.0]), np.ones(2), 2, rng=rng
+            )
+
+    def test_rejects_zero_weights(self, rng):
+        with pytest.raises(ParameterError):
+            chung_lu_digraph(
+                np.zeros(3), np.ones(3), 3, rng=rng
+            )
+
+    def test_deterministic_given_seed(self):
+        a = power_law_digraph(50, 300, rng=np.random.default_rng(5))
+        b = power_law_digraph(50, 300, rng=np.random.default_rng(5))
+        assert a == b
+
+
+class TestBarabasiAlbert:
+    def test_shape(self, rng):
+        graph = barabasi_albert_digraph(200, 3, rng=rng)
+        assert graph.num_nodes == 200
+        assert not graph.has_dead_ends
+        # Every non-seed node has out-degree exactly k.
+        assert np.all(graph.out_degree[4:] == 3)
+
+    def test_preferential_attachment_concentrates_in_degree(self, rng):
+        graph = barabasi_albert_digraph(500, 2, rng=rng)
+        in_degree = np.sort(graph.in_degree)[::-1]
+        # Top 10% of nodes should hold a disproportionate share.
+        top_share = in_degree[:50].sum() / in_degree.sum()
+        assert top_share > 0.25
+
+    def test_rejects_bad_k(self, rng):
+        with pytest.raises(ParameterError):
+            barabasi_albert_digraph(10, 0, rng=rng)
+
+    def test_rejects_too_few_nodes(self, rng):
+        with pytest.raises(ParameterError):
+            barabasi_albert_digraph(3, 3, rng=rng)
+
+
+class TestRMat:
+    def test_shape_and_no_dead_ends(self, rng):
+        graph = rmat_digraph(9, 3000, rng=rng)
+        # Dead-end patching may add up to one edge per node beyond the
+        # requested count.
+        assert graph.num_edges <= 3000 + graph.num_nodes
+        assert graph.num_edges > 2000
+        assert not graph.has_dead_ends
+
+    def test_skewed_degrees(self, rng):
+        graph = rmat_digraph(10, 6000, rng=rng)
+        degrees = graph.out_degree
+        assert degrees.max() > 8 * max(degrees.mean(), 1)
+
+    def test_rejects_bad_scale(self, rng):
+        with pytest.raises(ParameterError):
+            rmat_digraph(0, 10, rng=rng)
+
+    def test_rejects_bad_probabilities(self, rng):
+        with pytest.raises(ParameterError):
+            rmat_digraph(5, 10, a=0.9, b=0.2, c=0.2, rng=rng)
+
+    def test_deterministic_given_seed(self):
+        a = rmat_digraph(8, 800, rng=np.random.default_rng(3))
+        b = rmat_digraph(8, 800, rng=np.random.default_rng(3))
+        assert a == b
+
+
+class TestDatasetRegistry:
+    def test_six_datasets_in_order(self):
+        assert dataset_names() == [
+            "dblp-s",
+            "webst-s",
+            "pokec-s",
+            "lj-s",
+            "orkut-s",
+            "twitter-s",
+        ]
+
+    @pytest.mark.parametrize("name", ["dblp-s", "pokec-s"])
+    def test_density_matches_table1(self, name):
+        graph = generate_dataset(name, scale=0.25)
+        spec = DATASETS[name]
+        stats = compute_stats(graph)
+        assert stats.average_degree == pytest.approx(
+            spec.avg_degree, rel=0.2
+        )
+
+    def test_undirected_types_are_symmetric(self):
+        graph = generate_dataset("dblp-s", scale=0.1)
+        sources, targets = graph.edge_array()
+        forward = set(zip(sources.tolist(), targets.tolist()))
+        assert all((t, s) in forward for s, t in forward)
+
+    def test_no_dead_ends_anywhere(self):
+        for name in dataset_names():
+            graph = generate_dataset(name, scale=0.05)
+            assert not graph.has_dead_ends, name
+
+    def test_load_dataset_caches_in_memory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.generators import datasets as ds
+
+        ds.clear_dataset_cache()
+        first = load_dataset("dblp-s", scale=0.1)
+        second = load_dataset("dblp-s", scale=0.1)
+        assert first is second
+        ds.clear_dataset_cache()
+
+    def test_load_dataset_disk_cache_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.generators import datasets as ds
+
+        ds.clear_dataset_cache()
+        first = load_dataset("webst-s", scale=0.1)
+        ds.clear_dataset_cache()
+        second = load_dataset("webst-s", scale=0.1)
+        assert first == second
+        ds.clear_dataset_cache()
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ParameterError):
+            generate_dataset("no-such-dataset")
+
+    def test_scale_env_parsing(self, monkeypatch):
+        from repro.generators.datasets import current_scale
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert current_scale() == 2.5
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "junk")
+        with pytest.raises(ParameterError):
+            current_scale()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(ParameterError):
+            current_scale()

@@ -1,0 +1,159 @@
+"""Unit tests for the graph builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.build import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_adjacency,
+    from_edge_arrays,
+    from_edges,
+    paper_example_graph,
+    star_graph,
+)
+
+
+class TestFromEdges:
+    def test_simple(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 0)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+
+    def test_empty_input(self):
+        graph = from_edges([])
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_empty_with_num_nodes(self):
+        graph = from_edges([], num_nodes=7)
+        assert graph.num_nodes == 7
+        assert graph.num_edges == 0
+
+    def test_dedup_removes_parallel_edges(self):
+        graph = from_edges([(0, 1), (0, 1), (0, 1), (1, 0)])
+        assert graph.num_edges == 2
+
+    def test_dedup_disabled_keeps_parallel_edges(self):
+        graph = from_edges([(0, 1), (0, 1), (1, 0)], dedup=False)
+        assert graph.num_edges == 3
+
+    def test_self_loops_dropped_by_default(self):
+        graph = from_edges([(0, 0), (0, 1), (1, 0)])
+        assert graph.num_edges == 2
+        assert not graph.has_edge(0, 0)
+
+    def test_self_loops_kept_on_request(self):
+        graph = from_edges([(0, 0), (0, 1), (1, 0)], drop_self_loops=False)
+        assert graph.num_edges == 3
+        assert graph.has_edge(0, 0)
+
+    def test_num_nodes_expands_graph(self):
+        graph = from_edges([(0, 1), (1, 0)], num_nodes=10)
+        assert graph.num_nodes == 10
+        assert graph.out_degree[9] == 0
+
+    def test_rejects_endpoint_beyond_num_nodes(self):
+        with pytest.raises(GraphFormatError):
+            from_edges([(0, 5)], num_nodes=3)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(GraphFormatError):
+            from_edges([(-1, 0)])
+
+    def test_rejects_malformed_tuples(self):
+        with pytest.raises(GraphFormatError):
+            from_edges([(0, 1, 2)])  # type: ignore[list-item]
+
+    def test_adjacency_lists_sorted(self):
+        graph = from_edges([(0, 3), (0, 1), (0, 2)])
+        assert graph.out_neighbors(0).tolist() == [1, 2, 3]
+
+
+class TestFromEdgeArrays:
+    def test_matches_from_edges(self):
+        edges = [(0, 2), (2, 1), (1, 0), (0, 1)]
+        a = from_edges(edges)
+        b = from_edge_arrays(
+            np.array([e[0] for e in edges]),
+            np.array([e[1] for e in edges]),
+        )
+        assert a == b
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_arrays(np.array([0, 1]), np.array([1]))
+
+
+class TestFromAdjacency:
+    def test_basic(self):
+        graph = from_adjacency({0: [1, 2], 1: [0], 2: []})
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+        assert graph.out_neighbors(0).tolist() == [1, 2]
+
+    def test_isolated_trailing_node(self):
+        graph = from_adjacency({0: [1], 1: [], 5: []})
+        assert graph.num_nodes == 6
+
+
+class TestCanonicalGraphs:
+    def test_empty_graph(self):
+        graph = empty_graph(4)
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 0
+        assert graph.dead_ends.tolist() == [0, 1, 2, 3]
+
+    def test_complete_graph(self):
+        graph = complete_graph(4)
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 12
+        assert not graph.has_edge(1, 1)
+
+    def test_complete_graph_degenerate(self):
+        assert complete_graph(1).num_edges == 0
+        assert complete_graph(0).num_nodes == 0
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(5)
+        assert graph.num_edges == 5
+        assert graph.has_edge(4, 0)
+        assert graph.out_degree.tolist() == [1] * 5
+
+    def test_cycle_graph_single_node(self):
+        graph = cycle_graph(1)
+        # single node with a self-loop retained (cycle onto itself)
+        assert graph.num_nodes == 1
+        assert graph.num_edges == 1
+
+    def test_star_bidirectional(self):
+        graph = star_graph(3)
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 6
+        assert not graph.has_dead_ends
+
+    def test_star_out_only_has_dead_ends(self):
+        graph = star_graph(3, bidirectional=False)
+        assert graph.num_edges == 3
+        assert graph.dead_ends.tolist() == [1, 2, 3]
+
+
+class TestPaperExampleGraph:
+    def test_shape(self):
+        graph = paper_example_graph()
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 13
+
+    def test_edges_match_figure1(self):
+        graph = paper_example_graph()
+        expected = {
+            0: [1, 2],
+            1: [0, 2, 3, 4],
+            2: [1, 3],
+            3: [0, 1, 2],
+            4: [1, 2],
+        }
+        for node, neighbors in expected.items():
+            assert graph.out_neighbors(node).tolist() == neighbors

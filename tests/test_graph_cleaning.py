@@ -1,0 +1,90 @@
+"""Unit tests for the Section-8 cleaning pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.graph.cleaning import clean, relabel_nodes, remove_isolated_nodes
+from repro.graph.build import from_edges
+
+
+class TestClean:
+    def test_relabels_sparse_ids(self):
+        graph, report = clean(
+            np.array([100, 200]), np.array([200, 100])
+        )
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 2
+        assert report.nodes_after == 2
+
+    def test_removes_self_loops(self):
+        graph, report = clean(
+            np.array([0, 1, 1]), np.array([0, 0, 1])
+        )
+        assert report.self_loops_removed == 2
+        assert graph.num_edges == 1
+
+    def test_removes_duplicates(self):
+        graph, report = clean(
+            np.array([0, 0, 0, 1]), np.array([1, 1, 1, 0])
+        )
+        assert report.duplicates_removed == 2
+        assert graph.num_edges == 2
+
+    def test_symmetrize_doubles_edges(self):
+        graph, report = clean(
+            np.array([0, 1]), np.array([1, 2]), symmetrize=True
+        )
+        assert graph.num_edges == 4
+        assert graph.undirected_origin
+        assert graph.has_edge(1, 0)
+        assert graph.has_edge(2, 1)
+
+    def test_symmetrize_counts_original_self_loops(self):
+        _, report = clean(
+            np.array([0, 1]), np.array([0, 2]), symmetrize=True
+        )
+        assert report.self_loops_removed == 1
+
+    def test_isolated_nodes_dropped_implicitly(self):
+        # Node 5 appears nowhere in the edges: never part of the graph.
+        graph, report = clean(np.array([0, 9]), np.array([9, 0]))
+        assert graph.num_nodes == 2
+
+    def test_empty_input(self):
+        graph, report = clean(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert graph.num_nodes == 0
+        assert report.edges_before == 0
+
+    def test_summary_mentions_counts(self):
+        _, report = clean(np.array([0, 0]), np.array([1, 1]))
+        text = report.summary()
+        assert "edges" in text and "nodes" in text
+
+
+class TestRemoveIsolated:
+    def test_no_isolated_is_identity(self):
+        graph = from_edges([(0, 1), (1, 0)])
+        cleaned, mapping = remove_isolated_nodes(graph)
+        assert cleaned is graph
+        assert mapping.tolist() == [0, 1]
+
+    def test_isolated_removed_and_mapped(self):
+        graph = from_edges([(0, 2), (2, 0)], num_nodes=4)
+        cleaned, mapping = remove_isolated_nodes(graph)
+        assert cleaned.num_nodes == 2
+        assert mapping.tolist() == [0, 2]
+        assert cleaned.has_edge(0, 1)
+
+
+class TestRelabel:
+    def test_subgraph_induction(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 2)])
+        sub = relabel_nodes(graph, np.array([0, 1, 2]))
+        assert sub.num_nodes == 3
+        # (2, 3) and (3, 2) dropped with node 3.
+        assert sub.num_edges == 3
+
+    def test_preserves_name(self):
+        graph = from_edges([(0, 1), (1, 0)], name="keepme")
+        sub = relabel_nodes(graph, np.array([0, 1]))
+        assert sub.name == "keepme"

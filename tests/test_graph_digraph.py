@@ -1,0 +1,149 @@
+"""Unit tests for the CSR DiGraph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError, NodeNotFoundError
+from repro.graph.build import from_edges, paper_example_graph
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_basic_counts(self, paper_graph):
+        assert paper_graph.num_nodes == 5
+        assert paper_graph.num_edges == 13
+        assert paper_graph.average_degree == pytest.approx(13 / 5)
+
+    def test_validation_rejects_bad_indptr_start(self):
+        with pytest.raises(GraphConstructionError):
+            DiGraph(np.array([1, 2]), np.array([0], dtype=np.int32))
+
+    def test_validation_rejects_decreasing_indptr(self):
+        with pytest.raises(GraphConstructionError):
+            DiGraph(
+                np.array([0, 2, 1]),
+                np.array([0, 1], dtype=np.int32),
+            )
+
+    def test_validation_rejects_mismatched_edge_count(self):
+        with pytest.raises(GraphConstructionError):
+            DiGraph(np.array([0, 3]), np.array([0], dtype=np.int32))
+
+    def test_validation_rejects_out_of_range_target(self):
+        with pytest.raises(GraphConstructionError):
+            DiGraph(np.array([0, 1]), np.array([5], dtype=np.int32))
+
+    def test_arrays_are_read_only(self, paper_graph):
+        with pytest.raises(ValueError):
+            paper_graph.out_indices[0] = 3
+        with pytest.raises(ValueError):
+            paper_graph.out_indptr[0] = 1
+
+
+class TestDegrees:
+    def test_out_degrees_match_figure1(self, paper_graph):
+        # v1..v5 have out-degrees 2, 4, 2, 3, 2 (Figure 1's P rows).
+        assert paper_graph.out_degree.tolist() == [2, 4, 2, 3, 2]
+
+    def test_in_degree_counts_incoming(self, paper_graph):
+        # Column sums of the Figure 1 adjacency.
+        assert paper_graph.in_degree.tolist() == [2, 4, 4, 2, 1]
+
+    def test_degrees_sum_to_m(self, paper_graph):
+        assert int(paper_graph.out_degree.sum()) == paper_graph.num_edges
+        assert int(paper_graph.in_degree.sum()) == paper_graph.num_edges
+
+    def test_dead_end_detection(self, dead_end_graph):
+        assert dead_end_graph.has_dead_ends
+        assert dead_end_graph.dead_ends.tolist() == [1, 2, 3, 4]
+
+    def test_no_dead_ends_in_paper_graph(self, paper_graph):
+        assert not paper_graph.has_dead_ends
+
+
+class TestAccess:
+    def test_out_neighbors_sorted(self, paper_graph):
+        assert paper_graph.out_neighbors(1).tolist() == [0, 2, 3, 4]
+
+    def test_in_neighbors(self, paper_graph):
+        assert sorted(paper_graph.in_neighbors(0).tolist()) == [1, 3]
+
+    def test_has_edge(self, paper_graph):
+        assert paper_graph.has_edge(0, 1)
+        assert paper_graph.has_edge(0, 2)
+        assert not paper_graph.has_edge(0, 3)
+        assert not paper_graph.has_edge(2, 0)
+
+    def test_node_bounds_checked(self, paper_graph):
+        with pytest.raises(NodeNotFoundError):
+            paper_graph.out_neighbors(5)
+        with pytest.raises(NodeNotFoundError):
+            paper_graph.out_neighbors(-1)
+        with pytest.raises(NodeNotFoundError):
+            paper_graph.has_edge(0, 99)
+
+    def test_iter_edges_matches_edge_array(self, paper_graph):
+        listed = list(paper_graph.iter_edges())
+        sources, targets = paper_graph.edge_array()
+        assert listed == list(zip(sources.tolist(), targets.tolist()))
+        assert len(listed) == paper_graph.num_edges
+
+
+class TestConversions:
+    def test_reverse_swaps_degrees(self, paper_graph):
+        reverse = paper_graph.reverse()
+        assert reverse.num_edges == paper_graph.num_edges
+        assert reverse.out_degree.tolist() == paper_graph.in_degree.tolist()
+        assert reverse.in_degree.tolist() == paper_graph.out_degree.tolist()
+
+    def test_reverse_twice_is_identity(self, paper_graph):
+        assert paper_graph.reverse().reverse() == paper_graph
+
+    def test_scipy_adjacency(self, paper_graph):
+        adj = paper_graph.to_scipy_csr(weighted=False)
+        assert adj.shape == (5, 5)
+        assert adj.nnz == 13
+        assert adj[0, 1] == 1.0
+
+    def test_transition_matrix_rows_are_stochastic(self, paper_graph):
+        p = paper_graph.to_scipy_csr(weighted=True)
+        row_sums = np.asarray(p.sum(axis=1)).ravel()
+        np.testing.assert_allclose(row_sums, np.ones(5))
+
+    def test_transition_matrix_matches_figure1(self, paper_graph):
+        p = paper_graph.to_scipy_csr(weighted=True).toarray()
+        expected = np.array(
+            [
+                [0, 1 / 2, 1 / 2, 0, 0],
+                [1 / 4, 0, 1 / 4, 1 / 4, 1 / 4],
+                [0, 1 / 2, 0, 1 / 2, 0],
+                [1 / 3, 1 / 3, 1 / 3, 0, 0],
+                [0, 1 / 2, 1 / 2, 0, 0],
+            ]
+        )
+        np.testing.assert_allclose(p, expected)
+
+    def test_transition_transpose_cached(self, paper_graph):
+        first = paper_graph.transition_matrix_transpose()
+        second = paper_graph.transition_matrix_transpose()
+        assert first is second
+
+    def test_dead_end_transition_row_is_zero(self, dead_end_graph):
+        p = dead_end_graph.to_scipy_csr(weighted=True).toarray()
+        np.testing.assert_allclose(p[1], np.zeros(5))
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = from_edges([(0, 1), (1, 0)])
+        b = from_edges([(1, 0), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_graphs(self):
+        a = from_edges([(0, 1), (1, 0)])
+        b = from_edges([(0, 1), (1, 0), (0, 2), (2, 0)])
+        assert a != b
+
+    def test_eq_other_type(self, paper_graph):
+        assert paper_graph != "not a graph"

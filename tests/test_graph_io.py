@@ -1,0 +1,87 @@
+"""Unit tests for graph I/O (SNAP edge lists and binary cache)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edges, paper_example_graph
+from repro.graph.io import (
+    load_npz,
+    parse_edge_list,
+    read_edge_list,
+    save_npz,
+    write_edge_list,
+)
+
+
+class TestParseEdgeList:
+    def test_basic(self):
+        graph, report = parse_edge_list("0 1\n1 2\n2 0\n")
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+
+    def test_comments_and_blank_lines(self):
+        text = "# SNAP header\n% alt comment\n\n0\t1\n1\t0\n"
+        graph, _ = parse_edge_list(text)
+        assert graph.num_edges == 2
+
+    def test_symmetrize(self):
+        graph, _ = parse_edge_list("0 1\n", symmetrize=True)
+        assert graph.num_edges == 2
+
+    def test_sparse_ids_relabelled(self):
+        graph, _ = parse_edge_list("1000 2000\n2000 1000\n")
+        assert graph.num_nodes == 2
+
+    def test_rejects_wrong_token_count(self):
+        with pytest.raises(GraphFormatError, match="line 1"):
+            parse_edge_list("0 1 2\n")
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            parse_edge_list("a b\n")
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(GraphFormatError, match="negative"):
+            parse_edge_list("-1 0\n")
+
+
+class TestFileRoundTrips:
+    def test_edge_list_round_trip(self, tmp_path):
+        graph = paper_example_graph()
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        loaded, report = read_edge_list(path)
+        assert loaded.num_nodes == graph.num_nodes
+        assert loaded.num_edges == graph.num_edges
+        sources_a, targets_a = graph.edge_array()
+        sources_b, targets_b = loaded.edge_array()
+        np.testing.assert_array_equal(sources_a, sources_b)
+        np.testing.assert_array_equal(targets_a, targets_b)
+
+    def test_read_uses_filename_as_default_name(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        write_edge_list(from_edges([(0, 1), (1, 0)]), path)
+        loaded, _ = read_edge_list(path)
+        assert loaded.name == "mygraph"
+
+    def test_npz_round_trip(self, tmp_path):
+        graph = paper_example_graph()
+        path = tmp_path / "graph.npz"
+        save_npz(graph, path)
+        loaded = load_npz(path)
+        assert loaded == graph
+        assert loaded.name == graph.name
+        assert loaded.undirected_origin == graph.undirected_origin
+
+    def test_npz_rejects_garbage(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz file")
+        with pytest.raises(GraphFormatError):
+            load_npz(path)
+
+    def test_npz_rejects_missing_keys(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, out_indptr=np.array([0, 0]))
+        with pytest.raises(GraphFormatError):
+            load_npz(path)

@@ -1,0 +1,96 @@
+"""Unit tests for graph statistics and structural transforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.build import complete_graph, from_edges, star_graph
+from repro.graph.stats import compute_stats, format_si, power_law_exponent_mle
+from repro.graph.transforms import apply_dead_end_rule, symmetrize
+
+
+class TestStats:
+    def test_basic_fields(self, paper_graph):
+        stats = compute_stats(paper_graph)
+        assert stats.num_nodes == 5
+        assert stats.num_edges == 13
+        assert stats.graph_type == "directed"
+        assert stats.max_out_degree == 4
+        assert stats.max_in_degree == 4
+        assert stats.dead_ends == 0
+
+    def test_table1_row_formatting(self, paper_graph):
+        row = compute_stats(paper_graph).table1_row()
+        assert row[0] == "paper-example"
+        assert row[1] == "5"
+        assert row[4] == "directed"
+
+    def test_undirected_flag_propagates(self):
+        graph = symmetrize(from_edges([(0, 1)]))
+        assert compute_stats(graph).graph_type == "undirected"
+
+    def test_gini_zero_for_regular_graph(self):
+        stats = compute_stats(complete_graph(6))
+        assert stats.degree_gini == pytest.approx(0.0, abs=1e-12)
+
+    def test_gini_positive_for_star(self):
+        stats = compute_stats(star_graph(10))
+        assert stats.degree_gini > 0.3
+
+
+class TestPowerLawMLE:
+    def test_nan_on_tiny_samples(self):
+        assert np.isnan(power_law_exponent_mle(np.array([2, 3, 4])))
+
+    def test_recovers_exponent_roughly(self, rng):
+        # Sample from a Pareto(alpha=2.5) and check the MLE is close.
+        u = rng.random(20000)
+        degrees = np.floor((1.0 - u) ** (-1.0 / 1.5) * 2).astype(int)
+        alpha = power_law_exponent_mle(degrees, d_min=2)
+        assert 2.2 < alpha < 2.8
+
+    def test_format_si(self):
+        assert format_si(317_000) == "317K"
+        assert format_si(2_100_000) == "2.10M"
+        assert format_si(1_470_000_000) == "1.47B"
+        assert format_si(999) == "999"
+
+
+class TestSymmetrize:
+    def test_adds_reverse_edges(self):
+        graph = symmetrize(from_edges([(0, 1), (1, 2)]))
+        for u, v in [(0, 1), (1, 0), (1, 2), (2, 1)]:
+            assert graph.has_edge(u, v)
+
+    def test_idempotent_on_edge_set(self):
+        once = symmetrize(from_edges([(0, 1), (2, 1)]))
+        twice = symmetrize(once)
+        assert once.num_edges == twice.num_edges
+
+
+class TestDeadEndRules:
+    def test_redirect_is_noop(self, dead_end_graph):
+        assert (
+            apply_dead_end_rule(dead_end_graph, "redirect-to-source")
+            is dead_end_graph
+        )
+
+    def test_self_loop_fixes_dead_ends(self, dead_end_graph):
+        fixed = apply_dead_end_rule(dead_end_graph, "self-loop")
+        assert not fixed.has_dead_ends
+        for leaf in (1, 2, 3, 4):
+            assert fixed.has_edge(leaf, leaf)
+
+    def test_uniform_teleport_fixes_dead_ends(self, dead_end_graph):
+        fixed = apply_dead_end_rule(dead_end_graph, "uniform-teleport")
+        assert not fixed.has_dead_ends
+        # Each former dead end now points at every node except itself
+        # (self-loops are kept here), i.e. out-degree n or n-1.
+        assert int(fixed.out_degree[1]) >= dead_end_graph.num_nodes - 1
+
+    def test_noop_when_no_dead_ends(self, paper_graph):
+        assert apply_dead_end_rule(paper_graph, "self-loop") is paper_graph
+
+    def test_unknown_rule_rejected(self, dead_end_graph):
+        with pytest.raises(ParameterError):
+            apply_dead_end_rule(dead_end_graph, "nonsense")  # type: ignore[arg-type]

@@ -1,0 +1,151 @@
+"""Unit tests for error and ranking metrics and ground-truth computation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.metrics.errors import (
+    l1_error,
+    l2_error,
+    max_absolute_error,
+    max_relative_error,
+    relative_error_violations,
+)
+from repro.metrics.ground_truth import (
+    clear_ground_truth_cache,
+    exact_ppr_dense,
+    ground_truth_ppr,
+)
+from repro.metrics.ranking import (
+    kendall_tau_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    top_k_nodes,
+)
+
+
+class TestErrorNorms:
+    def test_l1(self):
+        assert l1_error(np.array([0.5, 0.5]), np.array([0.4, 0.6])) == (
+            pytest.approx(0.2)
+        )
+
+    def test_l2(self):
+        assert l2_error(np.array([1.0, 0.0]), np.array([0.0, 0.0])) == 1.0
+
+    def test_max_absolute(self):
+        assert max_absolute_error(
+            np.array([0.1, 0.9]), np.array([0.3, 0.8])
+        ) == pytest.approx(0.2)
+
+    def test_max_relative_thresholded(self):
+        truth = np.array([0.5, 0.001])
+        estimate = np.array([0.55, 0.01])
+        # Only the node with truth >= mu counts.
+        assert max_relative_error(
+            estimate, truth, mu=0.1
+        ) == pytest.approx(0.1)
+
+    def test_max_relative_no_qualifying_nodes(self):
+        assert (
+            max_relative_error(np.array([1.0]), np.array([0.0]), mu=0.5)
+            == 0.0
+        )
+
+    def test_violations_count(self):
+        truth = np.array([0.5, 0.4, 0.001])
+        estimate = np.array([0.5, 0.8, 0.5])
+        assert (
+            relative_error_violations(
+                estimate, truth, mu=0.1, epsilon=0.5
+            )
+            == 1
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            l1_error(np.zeros(3), np.zeros(4))
+
+
+class TestRanking:
+    def test_top_k_order_and_ties(self):
+        scores = np.array([0.1, 0.5, 0.5, 0.2])
+        assert top_k_nodes(scores, 3).tolist() == [1, 2, 3]
+
+    def test_precision_at_k(self):
+        truth = np.array([0.4, 0.3, 0.2, 0.1])
+        estimate = np.array([0.4, 0.1, 0.3, 0.2])
+        assert precision_at_k(estimate, truth, 2) == 0.5
+
+    def test_precision_perfect(self):
+        scores = np.array([0.4, 0.3, 0.2, 0.1])
+        assert precision_at_k(scores, scores, 3) == 1.0
+
+    def test_ndcg_bounds(self):
+        truth = np.array([0.4, 0.3, 0.2, 0.1])
+        estimate = np.array([0.1, 0.2, 0.3, 0.4])
+        value = ndcg_at_k(estimate, truth, 4)
+        assert 0.0 < value < 1.0
+        assert ndcg_at_k(truth, truth, 4) == pytest.approx(1.0)
+
+    def test_kendall_tau_perfect_and_inverted(self):
+        truth = np.array([0.4, 0.3, 0.2, 0.1])
+        assert kendall_tau_at_k(truth, truth, 4) == 1.0
+        assert kendall_tau_at_k(-truth, truth, 4) == -1.0
+
+    def test_kendall_tau_tiny_k(self):
+        truth = np.array([0.4, 0.3])
+        assert kendall_tau_at_k(truth, truth, 1) == 1.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ParameterError):
+            top_k_nodes(np.array([1.0]), -1)
+
+
+class TestExactDense:
+    def test_solution_satisfies_equation_1(self, paper_graph):
+        truth = exact_ppr_dense(paper_graph, 0, alpha=0.2)
+        p = paper_graph.to_scipy_csr(weighted=True).toarray()
+        e_s = np.zeros(5)
+        e_s[0] = 1.0
+        lhs = truth
+        rhs = 0.2 * e_s + 0.8 * truth @ p
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_sums_to_one(self, paper_graph):
+        for source in range(5):
+            truth = exact_ppr_dense(paper_graph, source)
+            assert truth.sum() == pytest.approx(1.0)
+
+    def test_rejects_large_graphs(self, paper_graph):
+        with pytest.raises(ParameterError):
+            exact_ppr_dense(paper_graph, 0, max_nodes=3)
+
+    def test_dead_end_policies_differ(self, dead_end_graph):
+        redirect = exact_ppr_dense(dead_end_graph, 0)
+        uniform = exact_ppr_dense(
+            dead_end_graph, 0, dead_end_policy="uniform-teleport"
+        )
+        assert l1_error(redirect, uniform) > 1e-3
+
+
+class TestGroundTruth:
+    def test_matches_dense(self, paper_graph):
+        clear_ground_truth_cache()
+        dense = exact_ppr_dense(paper_graph, 0)
+        iterative = ground_truth_ppr(paper_graph, 0, l1_threshold=1e-14)
+        np.testing.assert_allclose(iterative, dense, atol=1e-12)
+
+    def test_cache_returns_same_array(self, paper_graph):
+        clear_ground_truth_cache()
+        first = ground_truth_ppr(paper_graph, 0)
+        second = ground_truth_ppr(paper_graph, 0)
+        assert first is second
+        clear_ground_truth_cache()
+
+    def test_cached_array_immutable(self, paper_graph):
+        clear_ground_truth_cache()
+        truth = ground_truth_ppr(paper_graph, 0)
+        with pytest.raises(ValueError):
+            truth[0] = 0.0
+        clear_ground_truth_cache()

@@ -1,0 +1,154 @@
+"""Replay of the paper's running examples, number for number.
+
+* Figure 2: FwdPush on the Figure 1 graph with ``s = v1``,
+  ``alpha = 0.2``, ``r_max = 0.099``, push order v1, v3, v2.
+* Figure 3: SimFwdPush on the same graph with ``r_max = 0``; the
+  residues after iterations 1 and 2 are printed in the figure.
+* Section 4.2's FIFO iteration example: ``S(0) = {v1}``,
+  ``S(1) = {v2, v3}``, ``S(2) = all five nodes``.
+
+Node ids: v1..v5 -> 0..4.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fwdpush import forward_push
+from repro.core.power_iteration import power_iteration
+from repro.core.residues import PushState
+from repro.core.sim_fwdpush import simultaneous_forward_push
+
+
+class TestFigure2Trace:
+    """The three pushes of Figure 2, asserted exactly."""
+
+    R_MAX = 0.099
+
+    def test_state_after_push_v1(self, paper_graph):
+        state = PushState(paper_graph, 0, alpha=0.2)
+        state.push(0)
+        np.testing.assert_allclose(
+            state.reserve, [0.2, 0, 0, 0, 0], atol=1e-15
+        )
+        np.testing.assert_allclose(
+            state.residue, [0, 0.4, 0.4, 0, 0], atol=1e-15
+        )
+
+    def test_state_after_push_v3(self, paper_graph):
+        state = PushState(paper_graph, 0, alpha=0.2)
+        state.push(0)
+        state.push(2)
+        np.testing.assert_allclose(
+            state.reserve, [0.2, 0, 0.08, 0, 0], atol=1e-15
+        )
+        np.testing.assert_allclose(
+            state.residue, [0, 0.56, 0, 0.16, 0], atol=1e-15
+        )
+
+    def test_state_after_push_v2_terminates(self, paper_graph):
+        state = PushState(paper_graph, 0, alpha=0.2)
+        for node in (0, 2, 1):
+            state.push(node)
+        np.testing.assert_allclose(
+            state.reserve, [0.2, 0.112, 0.08, 0, 0], atol=1e-15
+        )
+        np.testing.assert_allclose(
+            state.residue, [0.112, 0, 0.112, 0.272, 0.112], atol=1e-15
+        )
+        # Figure 2 ends here: no node is active at r_max = 0.099.
+        assert state.active_nodes(self.R_MAX).shape[0] == 0
+
+    def test_active_sets_along_the_trace(self, paper_graph):
+        state = PushState(paper_graph, 0, alpha=0.2)
+        assert state.active_nodes(self.R_MAX).tolist() == [0]
+        state.push(0)
+        assert state.active_nodes(self.R_MAX).tolist() == [1, 2]
+        state.push(2)
+        assert state.active_nodes(self.R_MAX).tolist() == [1]
+
+    def test_forward_push_terminal_error(self, paper_graph):
+        # Figure 2 pushes v1, v3, v2 (r_sum = 0.608).  FIFO pops v2
+        # before v3 and terminates at r_sum = 0.624 — both are valid
+        # "arbitrary active node" schedules, and both respect the
+        # m * r_max = 1.287 bound of Eq. 7.
+        result = forward_push(paper_graph, 0, alpha=0.2, r_max=self.R_MAX)
+        assert result.residue is not None
+        assert result.residue.sum() == pytest.approx(0.624, abs=1e-12)
+        assert result.residue.sum() <= paper_graph.num_edges * self.R_MAX
+        # No node is active at termination.
+        assert result.residue.max() <= 4 * self.R_MAX
+
+
+class TestFigure3Trace:
+    """SimFwdPush residues after iterations 1 and 2 (Figure 3)."""
+
+    def test_residues_per_iteration(self, paper_graph):
+        result, iterates = simultaneous_forward_push(
+            paper_graph,
+            0,
+            alpha=0.2,
+            l1_threshold=0.65,  # stops after exactly two iterations
+            record_iterates=True,
+        )
+        assert len(iterates) == 2
+        np.testing.assert_allclose(
+            iterates[0]["residue"], [0, 0.4, 0.4, 0, 0], atol=1e-15
+        )
+        np.testing.assert_allclose(
+            iterates[1]["residue"],
+            [0.08, 0.16, 0.08, 0.24, 0.08],
+            atol=1e-15,
+        )
+
+    def test_iteration_error_is_power_of_one_minus_alpha(self, paper_graph):
+        result, iterates = simultaneous_forward_push(
+            paper_graph,
+            0,
+            alpha=0.2,
+            l1_threshold=0.3,
+            record_iterates=True,
+        )
+        for j, snapshot in enumerate(iterates, start=1):
+            assert snapshot["residue"].sum() == pytest.approx(
+                0.8**j, abs=1e-12
+            )
+
+
+class TestSection42FifoIterations:
+    """The S(j) frontier sets of Section 4.2's example.
+
+    The example states S(0) = {v1}, S(1) = {v2, v3}, and that after the
+    second iteration all five nodes are active.  We verify this with
+    iteration-synchronous (simultaneous) pushes of each frontier, which
+    is the structure the Lemma 4.4 analysis reasons about.
+    """
+
+    def test_frontier_sets(self, paper_graph):
+        from repro.core.kernels import frontier_push
+
+        r_max = 0.001
+        state = PushState(paper_graph, 0, alpha=0.2)
+        s0 = state.active_nodes(r_max)
+        assert s0.tolist() == [0]
+
+        frontier_push(state, s0)
+        s1 = state.active_nodes(r_max)
+        assert s1.tolist() == [1, 2]
+
+        frontier_push(state, s1)
+        s2 = state.active_nodes(r_max)
+        assert s2.tolist() == [0, 1, 2, 3, 4]
+
+
+class TestPowItrMatchesFigure3:
+    """PowItr's gamma vectors are Figure 3's residues (Lemma 4.1)."""
+
+    def test_gamma_after_one_iteration(self, paper_graph):
+        result = power_iteration(
+            paper_graph, 0, alpha=0.2, l1_threshold=0.65
+        )
+        # Stops after 2 iterations: residue = gamma(2) from Figure 3.
+        assert result.residue is not None
+        np.testing.assert_allclose(
+            result.residue, [0.08, 0.16, 0.08, 0.24, 0.08], atol=1e-12
+        )

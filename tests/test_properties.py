@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These are the theorems the reproduction rests on, checked on *random*
+graphs and push sequences rather than hand-picked fixtures:
+
+1. Mass conservation: ``sum(reserve) + sum(residue) == 1`` under any
+   push sequence.
+2. Error identity: ``||pi_hat - pi||_1 == r_sum`` for non-negative
+   residues (Eq. 7's equality form).
+3. Lemma 4.1 equivalence on random graphs.
+4. PPR is a distribution; PowItr converges to the dense solve.
+5. CSR construction invariants under arbitrary edge lists.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.power_iteration import power_iteration
+from repro.core.residues import PushState
+from repro.core.sim_fwdpush import simultaneous_forward_push
+from repro.graph.build import from_edges
+from repro.metrics.errors import l1_error
+from repro.metrics.ground_truth import exact_ppr_dense
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def connected_digraphs(draw, max_nodes=12):
+    """Random digraph with no dead ends (cycle backbone + extra edges)."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    # Cycle backbone guarantees out-degree >= 1 everywhere.
+    edges = {(v, (v + 1) % n) for v in range(n)}
+    extra_count = draw(st.integers(min_value=0, max_value=3 * n))
+    for _ in range(extra_count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.add((u, v))
+    return from_edges(sorted(edges), num_nodes=n)
+
+
+@st.composite
+def digraphs_with_dead_ends(draw, max_nodes=10):
+    """Random digraph that may contain dead ends."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edge_count = draw(st.integers(min_value=1, max_value=3 * n))
+    edges = set()
+    for _ in range(edge_count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.add((u, v))
+    if not edges:
+        edges.add((0, 1 % n))
+    return from_edges(sorted(edges), num_nodes=n)
+
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+
+
+class TestMassConservation:
+    @_SETTINGS
+    @given(
+        graph=connected_digraphs(),
+        pushes=st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=0,
+            max_size=40,
+        ),
+    )
+    def test_arbitrary_push_sequences_conserve_mass(self, graph, pushes):
+        state = PushState(graph, 0)
+        for raw in pushes:
+            state.push(raw % graph.num_nodes)
+        assert state.mass_total() == pytest.approx(1.0, abs=1e-10)
+        assert np.all(state.residue >= -1e-15)
+        assert np.all(state.reserve >= 0)
+
+    @_SETTINGS
+    @given(
+        graph=digraphs_with_dead_ends(),
+        pushes=st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=0,
+            max_size=30,
+        ),
+    )
+    def test_conservation_with_dead_ends(self, graph, pushes):
+        state = PushState(graph, 0)
+        for raw in pushes:
+            state.push(raw % graph.num_nodes)
+        assert state.mass_total() == pytest.approx(1.0, abs=1e-10)
+
+
+class TestErrorIdentity:
+    @_SETTINGS
+    @given(
+        graph=connected_digraphs(max_nodes=10),
+        pushes=st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=1,
+            max_size=25,
+        ),
+    )
+    def test_l1_error_equals_r_sum_mid_run(self, graph, pushes):
+        truth = exact_ppr_dense(graph, 0)
+        state = PushState(graph, 0)
+        for raw in pushes:
+            state.push(raw % graph.num_nodes)
+        # ||pi_hat - pi||_1 = sum of residues, exactly, at ANY point.
+        assert l1_error(state.reserve, truth) == pytest.approx(
+            float(state.residue.sum()), abs=1e-9
+        )
+
+
+class TestEquivalenceProperty:
+    @_SETTINGS
+    @given(graph=connected_digraphs(max_nodes=10))
+    def test_sim_fwdpush_equals_powitr(self, graph):
+        sim = simultaneous_forward_push(graph, 0, l1_threshold=1e-6)
+        pow_itr = power_iteration(graph, 0, l1_threshold=1e-6)
+        np.testing.assert_allclose(
+            sim.estimate, pow_itr.estimate, atol=1e-12
+        )
+
+
+class TestPowItrConvergence:
+    @_SETTINGS
+    @given(
+        graph=connected_digraphs(max_nodes=10),
+        source=st.integers(min_value=0, max_value=100),
+        alpha=st.floats(min_value=0.05, max_value=0.9),
+    )
+    def test_converges_to_dense_solution(self, graph, source, alpha):
+        source = source % graph.num_nodes
+        truth = exact_ppr_dense(graph, source, alpha=alpha)
+        result = power_iteration(
+            graph, source, alpha=alpha, l1_threshold=1e-9
+        )
+        assert l1_error(result.estimate, truth) <= 1e-8
+
+    @_SETTINGS
+    @given(graph=digraphs_with_dead_ends(max_nodes=8))
+    def test_dead_end_graphs_converge(self, graph):
+        truth = exact_ppr_dense(graph, 0)
+        result = power_iteration(graph, 0, l1_threshold=1e-10)
+        assert l1_error(result.estimate, truth) <= 1e-9
+
+
+class TestCsrInvariants:
+    @_SETTINGS
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=0, max_value=15),
+            ),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    def test_csr_structure(self, edges):
+        graph = from_edges(edges)
+        assert graph.out_indptr[0] == 0
+        assert graph.out_indptr[-1] == graph.num_edges
+        assert np.all(np.diff(graph.out_indptr) >= 0)
+        assert int(graph.out_degree.sum()) == graph.num_edges
+        assert int(graph.in_degree.sum()) == graph.num_edges
+        # Dedup: no duplicate (u, v) pairs remain.
+        seen = set()
+        for edge in graph.iter_edges():
+            assert edge not in seen
+            seen.add(edge)
+        # No self-loops survive the default build.
+        assert all(u != v for u, v in seen)
+
+    @_SETTINGS
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=12),
+                st.integers(min_value=0, max_value=12),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_reverse_preserves_edge_multiset(self, edges):
+        graph = from_edges(edges)
+        reverse = graph.reverse()
+        forward_edges = set(graph.iter_edges())
+        backward_edges = {(v, u) for u, v in reverse.iter_edges()}
+        assert forward_edges == backward_edges
+
+
+class TestWalkBudgetProperty:
+    @_SETTINGS
+    @given(
+        graph=connected_digraphs(max_nodes=10),
+        w_exponent=st.integers(min_value=2, max_value=6),
+    )
+    def test_refined_state_needs_at_most_m_walks(self, graph, w_exponent):
+        from repro.core.mc_phase import required_walks
+        from repro.core.refinement import refine_to_r_max
+
+        num_walks_w = 10**w_exponent
+        state = PushState(graph, 0)
+        refine_to_r_max(state, 1.0 / num_walks_w)
+        walks = required_walks(state.residue, num_walks_w)
+        assert int(walks.sum()) <= graph.num_edges + graph.num_nodes
+        # Per node: W_v <= d_v (+1 float-slop allowance).
+        assert np.all(walks <= graph.out_degree + 1)

@@ -1,0 +1,207 @@
+"""Unit tests for the random-walk engine and walk indexes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConvergenceError,
+    IndexBuildError,
+    IndexMismatchError,
+    ParameterError,
+)
+from repro.graph.build import cycle_graph, from_edges
+from repro.metrics.ground_truth import exact_ppr_dense
+from repro.walks.engine import simulate_walk_stops, single_walk, walk_stop_counts
+from repro.walks.index import (
+    build_walk_index,
+    fora_plus_walk_counts,
+    speedppr_walk_counts,
+)
+from repro.walks.storage import load_walk_index, save_walk_index, stored_size_bytes
+
+
+class TestEngineBasics:
+    def test_stops_are_valid_nodes(self, paper_graph, rng):
+        starts = np.zeros(500, dtype=np.int64)
+        stops, steps = simulate_walk_stops(
+            paper_graph, starts, alpha=0.2, rng=rng
+        )
+        assert stops.shape == (500,)
+        assert stops.min() >= 0 and stops.max() < 5
+        assert steps > 0
+
+    def test_empty_batch(self, paper_graph, rng):
+        stops, steps = simulate_walk_stops(
+            paper_graph, np.array([], dtype=np.int64), rng=rng
+        )
+        assert stops.shape == (0,)
+        assert steps == 0
+
+    def test_high_alpha_stops_quickly(self, paper_graph, rng):
+        starts = np.zeros(200, dtype=np.int64)
+        _, steps = simulate_walk_stops(
+            paper_graph, starts, alpha=0.95, rng=rng
+        )
+        # Expected length 1/0.95 - 1 moves; generous cap.
+        assert steps < 100
+
+    def test_expected_walk_length(self, paper_graph, rng):
+        # E[moves] = (1 - alpha) / alpha = 4 for alpha = 0.2.
+        starts = np.zeros(20_000, dtype=np.int64)
+        _, steps = simulate_walk_stops(
+            paper_graph, starts, alpha=0.2, rng=rng
+        )
+        assert steps / 20_000 == pytest.approx(4.0, rel=0.1)
+
+    def test_rejects_bad_start(self, paper_graph, rng):
+        with pytest.raises(ParameterError):
+            simulate_walk_stops(
+                paper_graph, np.array([99]), rng=rng
+            )
+
+    def test_dead_end_requires_source(self, dead_end_graph, rng):
+        with pytest.raises(ParameterError):
+            simulate_walk_stops(
+                dead_end_graph, np.array([0]), rng=rng
+            )
+
+    def test_batching_equivalent(self, paper_graph):
+        starts = np.zeros(100, dtype=np.int64)
+        a, _ = simulate_walk_stops(
+            paper_graph,
+            starts,
+            rng=np.random.default_rng(7),
+            batch_size=8,
+        )
+        # Different batch split -> different RNG consumption order, so
+        # compare distributions only.
+        b, _ = simulate_walk_stops(
+            paper_graph,
+            starts,
+            rng=np.random.default_rng(7),
+            batch_size=100,
+        )
+        assert a.shape == b.shape
+
+
+class TestEngineDistribution:
+    """The vectorised engine samples the PPR distribution."""
+
+    def test_matches_exact_ppr(self, paper_graph, rng):
+        truth = exact_ppr_dense(paper_graph, 0)
+        counts, _ = walk_stop_counts(
+            paper_graph, 0, 60_000, alpha=0.2, rng=rng
+        )
+        empirical = counts / counts.sum()
+        np.testing.assert_allclose(empirical, truth, atol=0.01)
+
+    def test_matches_scalar_reference(self, paper_graph):
+        # Vectorised and scalar engines agree in distribution.
+        rng = np.random.default_rng(99)
+        scalar_counts = np.zeros(5)
+        for _ in range(6000):
+            scalar_counts[single_walk(paper_graph, 0, rng=rng)] += 1
+        vector_counts, _ = walk_stop_counts(
+            paper_graph, 0, 6000, rng=np.random.default_rng(100)
+        )
+        np.testing.assert_allclose(
+            scalar_counts / 6000, vector_counts / 6000, atol=0.03
+        )
+
+    def test_dead_end_redirect_distribution(self, dead_end_graph, rng):
+        truth = exact_ppr_dense(dead_end_graph, 0)
+        counts, _ = walk_stop_counts(
+            dead_end_graph, 0, 40_000, source=0, rng=rng
+        )
+        np.testing.assert_allclose(counts / 40_000, truth, atol=0.01)
+
+    def test_walks_from_non_source_node(self, paper_graph, rng):
+        # Walks from v2 sample pi_{v2}.
+        truth = exact_ppr_dense(paper_graph, 1)
+        counts, _ = walk_stop_counts(
+            paper_graph, 1, 40_000, source=1, rng=rng
+        )
+        np.testing.assert_allclose(counts / 40_000, truth, atol=0.01)
+
+
+class TestWalkIndex:
+    def test_speedppr_sizing_is_degree(self, paper_graph):
+        counts = speedppr_walk_counts(paper_graph)
+        assert counts.tolist() == paper_graph.out_degree.tolist()
+
+    def test_fora_plus_sizing_covers_needs(self, paper_graph):
+        w = 1000.0
+        counts = fora_plus_walk_counts(paper_graph, w)
+        factor = np.sqrt(w / paper_graph.num_edges)
+        needed = np.ceil(paper_graph.out_degree * factor)
+        assert np.all(counts >= needed)
+
+    def test_build_and_lookup(self, paper_graph, rng):
+        index = build_walk_index(
+            paper_graph, speedppr_walk_counts(paper_graph), rng=rng
+        )
+        assert index.num_walks == paper_graph.num_edges
+        assert index.walks_available(1) == 4
+        stops = index.stops_for(1, 3)
+        assert stops.shape == (3,)
+
+    def test_lookup_beyond_available_raises(self, paper_graph, rng):
+        index = build_walk_index(
+            paper_graph, speedppr_walk_counts(paper_graph), rng=rng
+        )
+        with pytest.raises(IndexMismatchError):
+            index.stops_for(0, 10)
+
+    def test_graph_mismatch_detected(self, paper_graph, rng):
+        index = build_walk_index(
+            paper_graph, speedppr_walk_counts(paper_graph), rng=rng
+        )
+        other = cycle_graph(9)
+        with pytest.raises(IndexMismatchError):
+            index.check_graph(other)
+
+    def test_dead_ends_rejected(self, dead_end_graph, rng):
+        with pytest.raises(IndexBuildError):
+            build_walk_index(
+                dead_end_graph,
+                speedppr_walk_counts(dead_end_graph),
+                rng=rng,
+            )
+
+    def test_bad_counts_rejected(self, paper_graph, rng):
+        with pytest.raises(IndexBuildError):
+            build_walk_index(paper_graph, np.array([1, 2]), rng=rng)
+        with pytest.raises(IndexBuildError):
+            build_walk_index(
+                paper_graph, -np.ones(5, dtype=np.int64), rng=rng
+            )
+
+    def test_size_bytes_positive_and_consistent(self, paper_graph, rng):
+        index = build_walk_index(
+            paper_graph, speedppr_walk_counts(paper_graph), rng=rng
+        )
+        assert index.size_bytes == index.indptr.nbytes + index.stops.nbytes
+
+
+class TestWalkIndexStorage:
+    def test_round_trip(self, paper_graph, rng, tmp_path):
+        index = build_walk_index(
+            paper_graph,
+            speedppr_walk_counts(paper_graph),
+            rng=rng,
+            policy="speedppr",
+        )
+        path = tmp_path / "walks.npz"
+        save_walk_index(index, path)
+        loaded = load_walk_index(path)
+        np.testing.assert_array_equal(loaded.indptr, index.indptr)
+        np.testing.assert_array_equal(loaded.stops, index.stops)
+        assert loaded.policy == "speedppr"
+        assert loaded.alpha == index.alpha
+        assert stored_size_bytes(path) > 0
+
+    def test_load_garbage_raises(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"nope")
+        with pytest.raises(IndexBuildError):
+            load_walk_index(path)
