@@ -9,13 +9,14 @@ updates — as ASCII charts.
 
 from __future__ import annotations
 
-from repro import fifo_forward_push, load_dataset, power_iteration, power_push
+from repro import PPREngine, load_dataset
 from repro.experiments.report import ascii_chart
 from repro.instrumentation.tracing import ConvergenceTrace
 
 
 def main() -> None:
     graph = load_dataset("lj-s")
+    engine = PPREngine(graph, alpha=0.2)
     source = 123
     l1_threshold = min(1e-8, 1.0 / graph.num_edges)
     stride = 4 * graph.num_edges  # the paper samples every 4m updates
@@ -24,17 +25,18 @@ def main() -> None:
         f"(LiveJournal analog); lambda = {l1_threshold:.1e}\n"
     )
 
+    # Registry aliases: any accepted spelling would do here.
     runs = (
-        ("PowerPush", power_push),
-        ("PowItr", power_iteration),
-        ("FIFO-FwdPush", fifo_forward_push),
+        ("PowerPush", "powerpush"),
+        ("PowItr", "powitr"),
+        ("FIFO-FwdPush", "fifo-fwdpush"),
     )
     time_series = {}
     update_series = {}
-    for name, solver in runs:
+    for name, method in runs:
         trace = ConvergenceTrace(stride=stride)
-        result = solver(
-            graph, source, l1_threshold=l1_threshold, trace=trace
+        result = engine.query(
+            source, method=method, l1_threshold=l1_threshold, trace=trace
         )
         time_series[name] = trace.series_vs_time()
         xs, ys = trace.series_vs_updates()

@@ -7,30 +7,27 @@ of PPR vectors, which requires one SSPPR query per node — exactly the
 workload where a fast solver with an eps-independent index pays off.
 
 This example builds a small PPR-proximity matrix on the Web-Stanford
-analog with SpeedPPR-Index, factorises it with a truncated SVD (the
-HOPE construction), and shows that nearby nodes in the embedding space
-are PPR-similar.
+analog with a :class:`PPREngine` batch query (SpeedPPR served from the
+engine's cached eps-independent index), factorises it with a truncated
+SVD (the HOPE construction), and shows that nearby nodes in the
+embedding space are PPR-similar.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    build_walk_index,
-    load_dataset,
-    speed_ppr,
-    speedppr_walk_counts,
-)
+from repro import PPREngine, load_dataset
 
 
-def ppr_matrix(graph, nodes, index) -> np.ndarray:
-    """Stack the PPR vectors of ``nodes`` into a matrix (rows = sources)."""
-    rows = []
-    for node in nodes:
-        result = speed_ppr(graph, int(node), epsilon=0.3, walk_index=index)
-        rows.append(result.estimate)
-    return np.vstack(rows)
+def ppr_matrix(engine: PPREngine, nodes) -> np.ndarray:
+    """Stack the PPR vectors of ``nodes`` into a matrix (rows = sources).
+
+    One batch query: the engine builds its walk index on the first
+    source and serves every other one from it.
+    """
+    results = engine.batch_query([int(v) for v in nodes], method="speedppr", epsilon=0.3)
+    return np.vstack([result.estimate for result in results])
 
 
 def main() -> None:
@@ -40,14 +37,12 @@ def main() -> None:
         "(Web-Stanford analog)"
     )
 
-    rng = np.random.default_rng(3)
-    index = build_walk_index(
-        graph, speedppr_walk_counts(graph), rng=rng, policy="speedppr"
-    )
+    engine = PPREngine(graph, alpha=0.2, seed=3)
 
     # Sample a node subset (full STRAP would use all nodes).
+    rng = np.random.default_rng(3)
     sample = rng.choice(graph.num_nodes, size=64, replace=False)
-    matrix = ppr_matrix(graph, sample, index)
+    matrix = ppr_matrix(engine, sample)
     print(
         f"computed {matrix.shape[0]} PPR vectors "
         f"({matrix.shape[0] * matrix.shape[1]} proximities)"

@@ -1,26 +1,27 @@
 #!/usr/bin/env python
-"""Quickstart: answer high-precision and approximate SSPPR queries.
+"""Quickstart: serve SSPPR queries through one :class:`PPREngine`.
 
 Run with::
 
     python examples/quickstart.py
 
-Loads the DBLP analog dataset, answers one high-precision query with
-PowerPush (the paper's Algorithm 3) and one approximate query with
-SpeedPPR (Algorithm 4), and cross-checks both against each other.
+Loads the DBLP analog dataset, constructs one engine for it, and
+answers queries through the unified API: a high-precision PowerPush
+query, an approximate SpeedPPR query served from the engine's cached
+eps-independent walk index, a batch of Monte-Carlo queries, and a
+certified top-k ranking.  The direct per-algorithm functions still
+exist, but the engine is the production front door: expensive
+per-graph state is built once and reused by every query.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import (
+    PPREngine,
     compute_stats,
     l1_error,
     load_dataset,
     max_relative_error,
-    power_push,
-    speed_ppr,
 )
 
 
@@ -33,12 +34,13 @@ def main() -> None:
     print(f"density : {stats.average_degree:.2f} (paper: 6.62)")
     print()
 
+    engine = PPREngine(graph, alpha=0.2, seed=0)
     source = 42
 
     # ------------------------------------------------------------------
     # High-precision query: ||estimate - pi_s||_1 <= 1e-8, guaranteed.
     # ------------------------------------------------------------------
-    exact = power_push(graph, source, alpha=0.2, l1_threshold=1e-8)
+    exact = engine.query(source, method="powerpush", l1_threshold=1e-8)
     print(f"PowerPush finished in {exact.seconds * 1000:.1f} ms")
     print(f"  guaranteed l1-error (= residue mass): {exact.r_sum:.2e}")
     print(f"  push operations: {exact.counters.pushes}")
@@ -50,12 +52,21 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     # Approximate query: relative error <= eps for pi(s,v) >= 1/n, whp.
+    # The first SpeedPPR query builds the eps-independent walk index;
+    # every later query — at ANY epsilon — reuses it.
     # ------------------------------------------------------------------
-    rng = np.random.default_rng(0)
-    approx = speed_ppr(graph, source, alpha=0.2, epsilon=0.2, rng=rng)
-    print(f"SpeedPPR finished in {approx.seconds * 1000:.1f} ms")
+    approx = engine.query(source, method="speedppr", epsilon=0.2)
+    print(
+        f"SpeedPPR finished in {approx.seconds * 1000:.1f} ms "
+        f"({approx.method})"
+    )
     print(f"  random walks used: {approx.counters.random_walks}")
-    print(f"  (at most m = {graph.num_edges} for ANY epsilon)")
+    print(f"  (index holds at most m = {graph.num_edges} walks for ANY eps)")
+    engine.query(source, method="speedppr", epsilon=0.1)
+    print(
+        f"  walk-index builds after a second query: "
+        f"{engine.index_builds['walk']}"
+    )
 
     # Measure the realised quality against the high-precision answer.
     mu = 1.0 / graph.num_nodes
@@ -67,6 +78,24 @@ def main() -> None:
         node for node, _ in approx.top_k(10)
     }
     print(f"  top-10 overlap with exact answer: {len(overlap)}/10")
+    print()
+
+    # ------------------------------------------------------------------
+    # Batch queries and certified top-k through the same front door.
+    # ------------------------------------------------------------------
+    batch = engine.batch_query([0, 1, 2, 3], method="montecarlo", epsilon=0.5)
+    print(
+        f"batch_query answered {len(batch)} Monte-Carlo queries "
+        f"(sources {[r.source for r in batch]})"
+    )
+
+    top = engine.top_k(source, 5)
+    print(f"certified top-5 (certificate holds: {top.certified}):")
+    for rank, (node, score) in enumerate(top.ranking, start=1):
+        print(f"    #{rank} node {node:<6d} ppr = {score:.6f}")
+    print()
+    print("engine instrumentation:")
+    print(engine.stats.render())
 
 
 if __name__ == "__main__":

@@ -3,33 +3,30 @@
 
 The paper's introduction motivates SSPPR with Twitter's Who-to-Follow:
 rank candidate accounts for a user by their Personalized PageRank.
-This example runs the full recommendation loop on the Pokec analog:
+This example runs the full recommendation loop on the Pokec analog
+through one :class:`PPREngine` — the production-shaped configuration:
 
 1. pick a user,
-2. compute their PPR vector with SpeedPPR-Index (the production-shaped
-   configuration: one eps-independent index shared by all queries),
+2. compute their PPR vector with SpeedPPR, served from the engine's
+   eps-independent walk index (built lazily on the first query and
+   shared by all users),
 3. filter out the user and the accounts they already follow,
 4. recommend the top remaining accounts,
-5. sanity-check the ranking against the exact high-precision answer.
+5. sanity-check the ranking against the exact high-precision answer
+   from the same engine.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    build_walk_index,
-    load_dataset,
-    power_push,
-    precision_at_k,
-    speed_ppr,
-    speedppr_walk_counts,
-)
+from repro import PPREngine, load_dataset, precision_at_k
 
 
-def recommend(graph, index, user: int, k: int = 10) -> list[tuple[int, float]]:
+def recommend(engine: PPREngine, user: int, k: int = 10) -> list[tuple[int, float]]:
     """Top-k accounts for ``user`` by PPR, excluding existing follows."""
-    result = speed_ppr(graph, user, epsilon=0.2, walk_index=index)
+    result = engine.query(user, method="speedppr", epsilon=0.2)
+    graph = engine.graph
     scores = result.estimate.copy()
     scores[user] = 0.0
     scores[graph.out_neighbors(user)] = 0.0  # already followed
@@ -44,12 +41,11 @@ def main() -> None:
         f"{graph.num_edges} follow edges (Pokec analog)"
     )
 
-    # One-off preprocessing shared by every user's query: at most one
+    # One engine serves every user's query; its walk index is the
+    # one-off preprocessing shared by all of them — at most one
     # pre-computed walk per edge, independent of the accuracy target.
-    rng = np.random.default_rng(7)
-    index = build_walk_index(
-        graph, speedppr_walk_counts(graph), rng=rng, policy="speedppr"
-    )
+    engine = PPREngine(graph, alpha=0.2, seed=7)
+    index = engine.walk_index()
     print(
         f"walk index: {index.num_walks} walks, "
         f"{index.size_bytes / 1e6:.1f} MB, built in "
@@ -66,20 +62,25 @@ def main() -> None:
             "recommendations:"
         )
         for rank, (candidate, score) in enumerate(
-            recommend(graph, index, user, k=5), start=1
+            recommend(engine, user, k=5), start=1
         ):
             print(f"  #{rank} account {candidate:<6d} score = {score:.6f}")
 
         # Quality check: how much of the *exact* top-5 did we recover?
-        exact = power_push(graph, user, l1_threshold=1e-10)
+        exact = engine.query(user, method="powerpush", l1_threshold=1e-10)
         exact_scores = exact.estimate.copy()
         exact_scores[user] = 0.0
         exact_scores[followed] = 0.0
         approx_scores = np.zeros_like(exact_scores)
-        for candidate, score in recommend(graph, index, user, k=50):
+        for candidate, score in recommend(engine, user, k=50):
             approx_scores[candidate] = score
         hit_rate = precision_at_k(approx_scores, exact_scores, 5)
         print(f"  precision@5 vs exact PPR ranking: {hit_rate:.2f}\n")
+
+    print(
+        f"walk-index builds across {engine.stats.queries} queries: "
+        f"{engine.index_builds['walk']}"
+    )
 
 
 if __name__ == "__main__":

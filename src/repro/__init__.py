@@ -17,17 +17,47 @@ baseline/substrate its evaluation depends on:
   random-walk engine (:mod:`repro.walks`), metrics
   (:mod:`repro.metrics`) and the experiment harness
   (:mod:`repro.experiments`).
+* **Unified query API** (:mod:`repro.api`): every algorithm sits
+  behind one solver registry, and a stateful :class:`PPREngine` serves
+  queries against a graph while caching the expensive per-graph
+  indexes (SpeedPPR's eps-independent walk index, BePI's block
+  elimination) across queries.
 
 Quickstart
 ----------
->>> import numpy as np
->>> from repro import power_push, load_dataset
+Construct one engine per graph, then query it by method name — any
+registered algorithm, exact or approximate, through one front door:
+
+>>> from repro import PPREngine, load_dataset
 >>> graph = load_dataset("dblp-s")
->>> result = power_push(graph, source=0, l1_threshold=1e-8)
->>> result.r_sum <= 1e-8
+>>> engine = PPREngine(graph, alpha=0.2, seed=7)
+>>> exact = engine.query(0, method="powerpush", l1_threshold=1e-8)
+>>> exact.r_sum <= 1e-8
 True
+>>> approx = engine.query(0, method="speedppr", epsilon=0.5)  # builds index
+>>> _ = engine.query(1, method="speedppr", epsilon=0.1)       # reuses it
+>>> engine.index_builds["walk"]
+1
+>>> results = engine.batch_query([0, 1, 2], method="montecarlo")
+>>> [r.source for r in results]
+[0, 1, 2]
+
+The registry resolves aliases (``fwdpush``, ``power-iteration``,
+``fora+`` …) to canonical solvers; ``repro.api.solver_names()`` lists
+them and an unknown name raises :class:`UnknownMethodError` with the
+valid spellings.  The direct per-algorithm functions below remain
+available for library use.
 """
 
+from repro.api import (
+    PPREngine,
+    SolverSpec,
+    UnknownMethodError,
+    canonical_method_name,
+    get_solver,
+    register_solver,
+    solver_names,
+)
 from repro.baselines import fora, resacc
 from repro.bepi import BePIIndex, bepi_query, build_bepi_index
 from repro.core import (
@@ -80,10 +110,18 @@ from repro.walks import (
     speedppr_walk_counts,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # unified query API
+    "PPREngine",
+    "SolverSpec",
+    "register_solver",
+    "get_solver",
+    "solver_names",
+    "canonical_method_name",
+    "UnknownMethodError",
     # graph
     "DiGraph",
     "from_edges",

@@ -1,0 +1,49 @@
+"""Unified query API: the solver registry and the stateful engine.
+
+Two layers:
+
+* :mod:`repro.api.registry` — every SSPPR algorithm registered behind
+  one ``solve(graph, source, *, params) -> PPRResult`` protocol, with
+  canonical names, aliases, kinds and capability flags.
+* :mod:`repro.api.engine` — :class:`PPREngine`, the per-graph serving
+  facade that caches walk/BePI indexes across queries and exposes
+  ``query`` / ``batch_query`` / ``top_k`` plus aggregated
+  instrumentation.
+
+The CLI, the experiment harness and the examples all dispatch through
+this package; user code should too.
+"""
+
+from repro.api.engine import EngineStats, MethodStats, PPREngine
+from repro.api.registry import (
+    ParamSpec,
+    SolverSpec,
+    build_fora_index,
+    build_speedppr_index,
+    canonical_method_name,
+    get_solver,
+    register_solver,
+    resolve_method,
+    solve,
+    solver_names,
+    solver_specs,
+)
+from repro.errors import UnknownMethodError
+
+__all__ = [
+    "PPREngine",
+    "EngineStats",
+    "MethodStats",
+    "ParamSpec",
+    "SolverSpec",
+    "register_solver",
+    "get_solver",
+    "resolve_method",
+    "canonical_method_name",
+    "solver_names",
+    "solver_specs",
+    "solve",
+    "build_speedppr_index",
+    "build_fora_index",
+    "UnknownMethodError",
+]

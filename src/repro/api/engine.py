@@ -1,0 +1,456 @@
+"""Stateful query-serving facade: one :class:`PPREngine` per graph.
+
+The ROADMAP's production framing — heavy query traffic against one
+graph — means the expensive per-graph artefacts must outlive a single
+query: SpeedPPR's eps-independent walk index, FORA+'s per-eps indexes,
+and BePI's block-elimination factorisation.  ``PPREngine`` owns those
+caches and lazily builds each one the first time a query needs it::
+
+    >>> engine = PPREngine(graph, alpha=0.2, seed=7)
+    >>> engine.query(0, method="powerpush", l1_threshold=1e-8)
+    >>> engine.query(0, method="speedppr", epsilon=0.3)   # builds index
+    >>> engine.query(1, method="speedppr", epsilon=0.1)   # reuses it
+
+Every method name accepted by the solver registry works, including
+aliases; ``engine.batch_query`` answers many sources with shared
+indexes (and a genuinely multi-source vectorised path for
+Monte-Carlo); ``engine.top_k`` adds certified top-k answers; and
+``engine.stats`` aggregates instrumentation across the engine's
+lifetime.  ``index_builds`` counts how often each index kind was
+constructed, so tests (and operators) can assert reuse.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.api.registry import (
+    SolverSpec,
+    build_fora_index,
+    build_speedppr_index,
+    resolve_method,
+)
+from repro.bepi.blockelim import BePIIndex, build_bepi_index
+from repro.core.result import PPRResult
+from repro.core.topk import TopKResult, top_k_ppr
+from repro.core.validation import check_source
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.instrumentation.counters import PushCounters
+from repro.montecarlo.chernoff import (
+    chernoff_walk_count,
+    default_failure_probability,
+    default_mu,
+)
+from repro.walks.engine import simulate_walk_stops
+from repro.walks.index import WalkIndex
+
+__all__ = ["PPREngine", "EngineStats", "MethodStats"]
+
+#: rng-stream salts; chosen to match the historical Workspace streams so
+#: experiment artefacts are bit-identical across the refactor.
+_WALK_INDEX_SALT = 1
+_FORA_INDEX_SALT = 2
+_QUERY_SALT_BASE = 10_000
+
+#: peak walks materialised at once by the vectorised Monte-Carlo batch
+_BATCH_WALK_BUDGET = 1 << 24
+
+
+@dataclass
+class MethodStats:
+    """Aggregate instrumentation for one method on one engine."""
+
+    queries: int = 0
+    seconds: float = 0.0
+    counters: PushCounters = field(default_factory=PushCounters)
+
+    def record(self, result: PPRResult) -> None:
+        self.queries += 1
+        self.seconds += result.seconds
+        self.counters.merge(result.counters)
+
+
+@dataclass
+class EngineStats:
+    """Per-engine aggregation of query instrumentation."""
+
+    queries: int = 0
+    seconds: float = 0.0
+    by_method: dict[str, MethodStats] = field(default_factory=dict)
+
+    def record(self, result: PPRResult) -> None:
+        self.queries += 1
+        self.seconds += result.seconds
+        per_method = self.by_method.setdefault(result.method, MethodStats())
+        per_method.record(result)
+
+    def render(self) -> str:
+        """Plain-text summary, one line per method."""
+        lines = [f"{self.queries} queries, {self.seconds:.4f}s total"]
+        for method in sorted(self.by_method):
+            stats = self.by_method[method]
+            lines.append(
+                f"  {method}: {stats.queries} queries, "
+                f"{stats.seconds:.4f}s, "
+                f"{stats.counters.residue_updates} residue updates, "
+                f"{stats.counters.random_walks} walks"
+            )
+        return "\n".join(lines)
+
+
+class PPREngine:
+    """Answer SSPPR queries against one graph with cached indexes.
+
+    Parameters
+    ----------
+    graph:
+        The graph all queries run against.
+    alpha:
+        Default teleport probability for every query (overridable
+        per query).
+    seed:
+        Base seed: index construction and the per-query generators of
+        stochastic methods derive from it deterministically, so an
+        engine replays exactly given the same call sequence.
+    dead_end_policy:
+        Default dead-end rule for solvers that accept one.
+    walk_index, bepi_index:
+        Optionally adopt pre-built indexes instead of building lazily.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        alpha: float = 0.2,
+        seed: int = 0,
+        dead_end_policy: str = "redirect-to-source",
+        walk_index: WalkIndex | None = None,
+        bepi_index: BePIIndex | None = None,
+    ) -> None:
+        self.graph = graph
+        self.alpha = alpha
+        self.seed = seed
+        self.dead_end_policy = dead_end_policy
+        self._walk_index = walk_index
+        self._bepi_index = bepi_index
+        #: (walk budget W the index was built for, index), insertion order
+        self._fora_indexes: list[tuple[int, WalkIndex]] = []
+        #: how many times each index kind was built (tests assert reuse)
+        self.index_builds: dict[str, int] = {"walk": 0, "bepi": 0, "fora": 0}
+        self.stats = EngineStats()
+        self._query_counter = 0
+
+    # -- cached per-graph artefacts ------------------------------------
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        """Deterministic generator derived from the engine seed."""
+        return np.random.default_rng(self.seed * 1_000_003 + salt)
+
+    def walk_index(self) -> WalkIndex:
+        """SpeedPPR's eps-independent walk index (built once, cached)."""
+        if self._walk_index is None:
+            self._walk_index = build_speedppr_index(
+                self.graph, alpha=self.alpha, rng=self.rng(_WALK_INDEX_SALT)
+            )
+            self.index_builds["walk"] += 1
+        return self._walk_index
+
+    def bepi_index(self) -> BePIIndex:
+        """BePI's block-elimination preprocessing (built once, cached)."""
+        if self._bepi_index is None:
+            self._bepi_index = build_bepi_index(self.graph, alpha=self.alpha)
+            self.index_builds["bepi"] += 1
+        return self._bepi_index
+
+    def fora_index(
+        self,
+        epsilon: float,
+        *,
+        mu: float | None = None,
+        p_fail: float | None = None,
+        exact: bool = False,
+    ) -> WalkIndex:
+        """FORA+'s contract-dependent index (cached by walk budget W).
+
+        The index an ``(epsilon, mu, p_fail)`` contract needs is fully
+        determined by its Chernoff walk budget ``W``, and an index
+        built for ``W1 >= W2`` also serves ``W2`` (per-node counts are
+        monotone in ``W``).  The cache therefore keys on ``W``: a query
+        reuses the smallest sufficient index already built — so the
+        paper's protocol of building at the smallest eps and reusing
+        for larger ones falls out, and a tighter ``mu``/``p_fail``
+        correctly triggers a fresh, larger build instead of being
+        handed an undersized index.
+
+        ``exact=True`` only reuses an index built for exactly this
+        budget — for measurements (Table 2) that must report the size
+        of *this* contract's index, not a larger one that happens to
+        serve it.
+        """
+        if mu is None:
+            mu = default_mu(self.graph.num_nodes)
+        if p_fail is None:
+            p_fail = default_failure_probability(self.graph.num_nodes)
+        needed_w = chernoff_walk_count(epsilon, mu, p_fail=p_fail)
+        best: tuple[int, WalkIndex] | None = None
+        for built_w, index in self._fora_indexes:
+            sufficient = built_w == needed_w if exact else built_w >= needed_w
+            if sufficient and (best is None or built_w < best[0]):
+                best = (built_w, index)
+        if best is not None:
+            return best[1]
+        index = build_fora_index(
+            self.graph,
+            epsilon,
+            alpha=self.alpha,
+            mu=mu,
+            p_fail=p_fail,
+            rng=self.rng(_FORA_INDEX_SALT),
+        )
+        self._fora_indexes.append((needed_w, index))
+        self.index_builds["fora"] += 1
+        return index
+
+    # -- query front door ----------------------------------------------
+    def query(
+        self, source: int, method: str = "powerpush", **params: Any
+    ) -> PPRResult:
+        """Answer one SSPPR query through the registry.
+
+        Accepts any registered method name or alias plus that method's
+        unified parameters.  Engine-level extras:
+
+        * ``seed=<int>`` pins the stochastic phase (otherwise a fresh
+          deterministic stream per query is derived from the engine
+          seed);
+        * ``use_index=False`` forces index-capable methods to run
+          index-free; methods flagged ``index_by_default`` (SpeedPPR)
+          are served from the cached walk index automatically.
+        """
+        spec, merged = resolve_method(method)
+        merged.update(params)
+        # Fail on typo'd names before _prepare builds (and caches) any
+        # expensive index on their behalf.
+        spec.validate_params(merged)
+        self._query_counter += 1
+        self._prepare(spec, merged)
+        result = spec.solve(self.graph, source, params=merged)
+        self.stats.record(result)
+        return result
+
+    def batch_query(
+        self,
+        sources: Iterable[int],
+        method: str = "powerpush",
+        **params: Any,
+    ) -> list[PPRResult]:
+        """Answer one query per source, in order, with shared state.
+
+        Results align with ``sources`` (``results[i].source ==
+        sources[i]``).  Any required index is built once up front and
+        shared; plain Monte-Carlo runs all sources' walks through one
+        vectorised multi-source simulation when the graph allows it,
+        and every other method loops.
+        """
+        sources = [int(s) for s in sources]
+        spec, merged = resolve_method(method)
+        merged.update(params)
+        spec.validate_params(merged)
+        if (
+            spec.name == "montecarlo"
+            and not self.graph.has_dead_ends
+            and merged.get("rng") is None
+            and len(sources) > 1
+        ):
+            return self._batch_monte_carlo(sources, merged)
+        # A single seed must not replay the same walk stream for every
+        # source: spawn one independent child stream per query.
+        child_rngs: list[np.random.Generator] | None = None
+        if spec.needs_rng and merged.get("rng") is None and "seed" in merged:
+            seed = merged.pop("seed")
+            if seed is not None:
+                children = np.random.SeedSequence(seed).spawn(len(sources))
+                child_rngs = [np.random.default_rng(c) for c in children]
+        results = []
+        for position, source in enumerate(sources):
+            params_i = dict(merged)
+            if child_rngs is not None:
+                params_i["rng"] = child_rngs[position]
+            results.append(self.query(source, method, **params_i))
+        return results
+
+    def top_k(
+        self,
+        source: int,
+        k: int,
+        method: str | None = None,
+        **params: Any,
+    ) -> TopKResult:
+        """Top-k PPR, certified when the method's state allows it.
+
+        With ``method=None`` runs the adaptive certified top-k driver
+        (PowerPush with a tightening threshold).  With an explicit
+        method, answers one query and ranks its estimate, certifying
+        the set only when the residue bound separates rank ``k`` from
+        rank ``k+1``.
+        """
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        if method is None:
+            params.setdefault("alpha", self.alpha)
+            params.setdefault("dead_end_policy", self.dead_end_policy)
+            answer = top_k_ppr(self.graph, source, k, **params)
+            self._query_counter += 1
+            self.stats.record(answer.result)
+            return answer
+        spec, _ = resolve_method(method)
+        result = self.query(source, method, **params)
+        ranked = result.top_k(min(k + 1, self.graph.num_nodes))
+        ranking = ranked[:k]
+        kth = ranked[k - 1][1] if len(ranked) >= k else 0.0
+        next_value = ranked[k][1] if len(ranked) > k else 0.0
+        gap = kth - next_value
+        # The ``gap > r_sum`` separation certificate relies on the
+        # estimate being a pure push underestimate; the Monte-Carlo
+        # phase of approximate methods can overestimate nodes, so
+        # their rankings are never certified.
+        certified = (
+            spec.kind == "exact"
+            and result.residue is not None
+            and gap > result.r_sum
+        )
+        return TopKResult(
+            ranking=ranking,
+            certified=certified,
+            gap=gap,
+            # NaN for residue-less methods (BePI, Monte-Carlo): no push
+            # threshold exists for this ranking.
+            l1_threshold=float(result.r_sum),
+            result=result,
+        )
+
+    # -- internals -------------------------------------------------------
+    def _prepare(self, spec: SolverSpec, merged: dict[str, Any]) -> None:
+        """Fill engine defaults and inject cached artefacts in place."""
+        if spec.accepts("alpha"):
+            merged.setdefault("alpha", self.alpha)
+        if spec.accepts("dead_end_policy"):
+            merged.setdefault("dead_end_policy", self.dead_end_policy)
+        if spec.needs_rng and merged.get("rng") is None:
+            seed = merged.pop("seed", None)
+            if seed is not None:
+                merged["rng"] = np.random.default_rng(seed)
+            else:
+                merged["rng"] = self.rng(_QUERY_SALT_BASE + self._query_counter)
+        # The cached indexes are built at the engine's alpha; a query
+        # that overrides alpha must not be served from them (the solver
+        # would reject the mismatch — or worse, BePI would silently
+        # answer at the wrong alpha).  Such queries fall back to the
+        # index-free path, or build an ad-hoc index via the registry
+        # adapter when the caller explicitly asked for one.
+        cacheable = merged.get("alpha", self.alpha) == self.alpha
+        if spec.needs_walk_index:
+            use_index = merged.get("use_index")
+            if use_index is None:
+                use_index = (
+                    cacheable
+                    and spec.index_by_default
+                    and not self.graph.has_dead_ends
+                )
+                merged["use_index"] = use_index
+            if use_index and cacheable and merged.get("walk_index") is None:
+                if spec.name == "speedppr":
+                    merged["walk_index"] = self.walk_index()
+                else:
+                    merged["walk_index"] = self.fora_index(
+                        merged.get("epsilon", 0.5),
+                        mu=merged.get("mu"),
+                        p_fail=merged.get("p_fail"),
+                    )
+        if (
+            spec.needs_precomputation
+            and cacheable
+            and merged.get("bepi_index") is None
+        ):
+            merged["bepi_index"] = self.bepi_index()
+
+    def _batch_monte_carlo(
+        self, sources: Sequence[int], merged: dict[str, Any]
+    ) -> list[PPRResult]:
+        """All sources' walks in one vectorised multi-source simulation."""
+        graph = self.graph
+        for source in sources:
+            check_source(graph, source)
+        alpha = merged.get("alpha", self.alpha)
+        num_walks = merged.get("num_walks")
+        if num_walks is None:
+            epsilon = merged.get("epsilon", 0.5)
+            mu = merged.get("mu")
+            if mu is None:
+                mu = default_mu(graph.num_nodes)
+            p_fail = merged.get("p_fail")
+            if p_fail is None:
+                p_fail = default_failure_probability(graph.num_nodes)
+            num_walks = chernoff_walk_count(epsilon, mu, p_fail=p_fail)
+        if num_walks <= 0:
+            raise ParameterError(f"num_walks must be positive, got {num_walks}")
+
+        seed = merged.pop("seed", None)
+        self._query_counter += 1
+        rng = (
+            np.random.default_rng(seed)
+            if seed is not None
+            else self.rng(_QUERY_SALT_BASE + self._query_counter)
+        )
+        # Simulate in source groups and reduce each group's stops to
+        # per-source histograms immediately, so peak memory stays
+        # bounded by _BATCH_WALK_BUDGET walks (plus the n-length count
+        # vectors the caller gets anyway), not len(sources) * num_walks.
+        group_size = max(1, _BATCH_WALK_BUDGET // int(num_walks))
+        started = time.perf_counter()
+        per_source_counts: list[np.ndarray] = []
+        steps = 0
+        for begin in range(0, len(sources), group_size):
+            group = np.asarray(sources[begin : begin + group_size], dtype=np.int64)
+            group_stops, group_steps = simulate_walk_stops(
+                graph, np.repeat(group, num_walks), alpha=alpha, rng=rng
+            )
+            steps += group_steps
+            for position in range(group.shape[0]):
+                segment = group_stops[
+                    position * num_walks : (position + 1) * num_walks
+                ]
+                per_source_counts.append(
+                    np.bincount(segment, minlength=graph.num_nodes)
+                )
+        elapsed = time.perf_counter() - started
+
+        results: list[PPRResult] = []
+        share = elapsed / len(sources)
+        # Wall time and walk steps are measured for the batch as a
+        # whole; apportion them evenly (steps keep an exact total by
+        # spreading the remainder) — the vectorised simulation has no
+        # per-source measurement.
+        steps_base, steps_extra = divmod(steps, len(sources))
+        for position, source in enumerate(sources):
+            result = PPRResult(
+                estimate=per_source_counts[position].astype(np.float64)
+                / num_walks,
+                residue=None,
+                source=int(source),
+                alpha=alpha,
+                counters=PushCounters(
+                    random_walks=int(num_walks),
+                    walk_steps=steps_base + (1 if position < steps_extra else 0),
+                ),
+                seconds=share,
+                method="MonteCarlo",
+            )
+            self.stats.record(result)
+            results.append(result)
+        return results

@@ -10,9 +10,15 @@ Run everything the paper reports, full protocol, into a file::
 
     repro-ppr run all --full --out results.txt
 
-Answer a single query from the shell::
+Answer a single query from the shell — any registered method name or
+alias works, and stochastic methods are reproducible via ``--seed``::
 
     repro-ppr query dblp-s --source 7 --method powerpush --top 10
+    repro-ppr query dblp-s --method speedppr --epsilon 0.2 --seed 42
+    repro-ppr query dblp-s --method fora+ --epsilon 0.3
+
+``repro-ppr list`` prints the experiments, the datasets, and every
+registered solver with its aliases.
 """
 
 from __future__ import annotations
@@ -21,32 +27,14 @@ import argparse
 import sys
 from pathlib import Path
 
-import numpy as np
-
-from repro.baselines.fora import fora
-from repro.baselines.resacc import resacc
-from repro.core.fifo_fwdpush import fifo_forward_push
-from repro.core.power_iteration import power_iteration
-from repro.core.powerpush import power_push
-from repro.core.speedppr import speed_ppr
+from repro.api import PPREngine, resolve_method, solver_specs
 from repro.errors import ReproError
 from repro.experiments.config import bench_config, full_config
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.experiments.workspace import Workspace
 from repro.generators.datasets import dataset_names, load_dataset
-from repro.montecarlo.mc import monte_carlo_ppr
 
 __all__ = ["main", "build_parser"]
-
-_QUERY_METHODS = (
-    "powerpush",
-    "powitr",
-    "fwdpush",
-    "speedppr",
-    "fora",
-    "resacc",
-    "montecarlo",
-)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,14 +64,24 @@ def build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser("query", help="answer one SSPPR query")
     query.add_argument("dataset", choices=dataset_names())
     query.add_argument("--source", type=int, default=0)
-    query.add_argument("--method", choices=_QUERY_METHODS, default="powerpush")
+    query.add_argument(
+        "--method",
+        default="powerpush",
+        metavar="METHOD",
+        help="registered solver name or alias (see 'repro-ppr list')",
+    )
     query.add_argument("--alpha", type=float, default=0.2)
     query.add_argument("--l1-threshold", type=float, default=1e-8)
     query.add_argument("--epsilon", type=float, default=0.5)
     query.add_argument("--top", type=int, default=10)
-    query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the stochastic methods (reproducible shell queries)",
+    )
 
-    sub.add_parser("list", help="list experiments and datasets")
+    sub.add_parser("list", help="list experiments, datasets, and methods")
     return parser
 
 
@@ -111,6 +109,10 @@ def _cmd_list() -> int:
     print("datasets:")
     for name in dataset_names():
         print(f"  {name}")
+    print("methods:")
+    for spec in solver_specs():
+        aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
+        print(f"  {spec.name} [{spec.kind}]{aliases}: {spec.summary}")
     return 0
 
 
@@ -131,36 +133,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    spec, implied = resolve_method(args.method)  # fail fast, pre dataset load
     graph = load_dataset(args.dataset)
-    rng = np.random.default_rng(args.seed)
-    if args.method == "powerpush":
-        result = power_push(
-            graph, args.source, alpha=args.alpha, l1_threshold=args.l1_threshold
-        )
-    elif args.method == "powitr":
-        result = power_iteration(
-            graph, args.source, alpha=args.alpha, l1_threshold=args.l1_threshold
-        )
-    elif args.method == "fwdpush":
-        result = fifo_forward_push(
-            graph, args.source, alpha=args.alpha, l1_threshold=args.l1_threshold
-        )
-    elif args.method == "speedppr":
-        result = speed_ppr(
-            graph, args.source, alpha=args.alpha, epsilon=args.epsilon, rng=rng
-        )
-    elif args.method == "fora":
-        result = fora(
-            graph, args.source, alpha=args.alpha, epsilon=args.epsilon, rng=rng
-        )
-    elif args.method == "resacc":
-        result = resacc(
-            graph, args.source, alpha=args.alpha, epsilon=args.epsilon, rng=rng
-        )
-    else:  # montecarlo
-        result = monte_carlo_ppr(
-            graph, args.source, alpha=args.alpha, epsilon=args.epsilon, rng=rng
-        )
+    engine = PPREngine(graph, alpha=args.alpha, seed=args.seed)
+    # Offer the full unified parameter set; the spec keeps what it knows.
+    candidates = {
+        "l1_threshold": args.l1_threshold,
+        "epsilon": args.epsilon,
+        "seed": args.seed,
+    }
+    params = {k: v for k, v in candidates.items() if spec.accepts(k)}
+    if spec.needs_walk_index and "use_index" not in implied:
+        # One query per process: building a full walk index costs more
+        # than it saves.  Index variants (speedppr-index, fora+) opt in.
+        params["use_index"] = False
+    result = engine.query(args.source, method=args.method, **params)
     print(
         f"{result.method} on {args.dataset} (n={graph.num_nodes}, "
         f"m={graph.num_edges}), source={args.source}: "

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.powerpush import PowerPushConfig, power_push
+from repro.core.residues import DeadEndPolicy
 from repro.core.result import PPRResult
 from repro.core.validation import check_alpha, check_source
 from repro.errors import ParameterError
@@ -69,6 +70,7 @@ def top_k_ppr(
     floor_l1_threshold: float = 1e-12,
     shrink_factor: float = 100.0,
     config: PowerPushConfig | None = None,
+    dead_end_policy: DeadEndPolicy = "redirect-to-source",
 ) -> TopKResult:
     """Answer a top-k SSPPR query with a certified stopping rule.
 
@@ -102,6 +104,7 @@ def top_k_ppr(
             alpha=alpha,
             l1_threshold=l1_threshold,
             config=config,
+            dead_end_policy=dead_end_policy,
         )
         ranking = result.top_k(min(k + 1, graph.num_nodes))
         if len(ranking) <= k:

@@ -43,3 +43,22 @@ class IndexMismatchError(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative solver exhausted its iteration budget before converging."""
+
+
+class UnknownMethodError(ReproError, KeyError):
+    """A method name does not resolve to any registered solver.
+
+    Raised by the solver registry (:mod:`repro.api.registry`); the
+    message lists every valid canonical name and alias.  Inherits from
+    :class:`KeyError` so generic lookup callers keep working.
+    """
+
+    def __init__(self, name: str, valid: list[str]) -> None:
+        self.name = name
+        self.valid = list(valid)
+        super().__init__(
+            f"unknown method {name!r}; valid methods: {', '.join(self.valid)}"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return self.args[0]

@@ -18,8 +18,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.core.fwdpush import forward_push
-from repro.core.powerpush import PowerPushConfig, power_push
+from repro.core.powerpush import PowerPushConfig
 from repro.experiments.config import query_sources
 from repro.experiments.report import format_seconds, format_table
 from repro.experiments.workspace import Workspace
@@ -80,6 +79,7 @@ def run_powerpush_ablation(
     result = PowerPushAblationResult()
     for name in config.datasets:
         graph = workspace.graph(name)
+        engine = workspace.engine(name)
         l1_threshold = config.l1_threshold(graph)
         sources = query_sources(graph, config.num_sources, config.seed)
         result.seconds[name] = {}
@@ -93,10 +93,9 @@ def run_powerpush_ablation(
             total_updates = 0
             for source in sources.tolist():
                 started = time.perf_counter()
-                answer = power_push(
-                    graph,
+                answer = engine.query(
                     source,
-                    alpha=config.alpha,
+                    method="powerpush",
                     l1_threshold=l1_threshold,
                     config=pp_config,
                 )
@@ -153,6 +152,7 @@ def run_scheduling_ablation(
     result = SchedulingAblationResult()
     for name in config.datasets:
         graph = workspace.graph(name)
+        engine = workspace.engine(name)
         r_max = r_max_scale / max(graph.num_edges, 1)
         sources = query_sources(
             graph, min(config.num_sources, 2), config.seed
@@ -163,12 +163,11 @@ def run_scheduling_ablation(
             total_pushes = 0
             total_updates = 0
             for source in sources.tolist():
-                answer = forward_push(
-                    graph,
+                answer = engine.query(
                     source,
-                    alpha=config.alpha,
+                    method="fwdpush-scheduled",
                     r_max=r_max,
-                    scheduler=scheduler,  # type: ignore[arg-type]
+                    scheduler=scheduler,
                 )
                 total_pushes += answer.counters.pushes
                 total_updates += answer.counters.residue_updates

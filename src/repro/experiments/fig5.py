@@ -20,10 +20,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.bepi.solver import bepi_query
-from repro.core.fifo_fwdpush import fifo_forward_push
-from repro.core.power_iteration import power_iteration
-from repro.core.powerpush import power_push
 from repro.experiments.config import query_sources
 from repro.experiments.report import ascii_chart, format_series
 from repro.experiments.workspace import Workspace
@@ -71,13 +67,13 @@ def reference_source(workspace: Workspace, dataset: str) -> int:
     config = workspace.config
     graph = workspace.graph(dataset)
     sources = query_sources(graph, config.num_sources, config.seed)
+    engine = workspace.engine(dataset)
     timings: list[tuple[float, int]] = []
     for source in sources.tolist():
         started = time.perf_counter()
-        power_push(
-            graph,
+        engine.query(
             source,
-            alpha=config.alpha,
+            method="powerpush",
             l1_threshold=config.l1_threshold(graph),
         )
         timings.append((time.perf_counter() - started, source))
@@ -92,35 +88,26 @@ def run_fig5(workspace: Workspace | None = None) -> Fig5Result:
     result = Fig5Result()
     for name in config.datasets:
         graph = workspace.graph(name)
+        engine = workspace.engine(name)
         source = reference_source(workspace, name)
         result.sources[name] = source
         l1_threshold = config.l1_threshold(graph)
         stride = config.trace_stride_edges * graph.num_edges
         curves: dict[str, tuple[list[float], list[float]]] = {}
 
-        for label, runner in (
-            ("PowerPush", power_push),
-            ("PowItr", power_iteration),
+        for label, method in (
+            ("PowerPush", "powerpush"),
+            ("PowItr", "powitr"),
+            ("FIFO-FwdPush", "fifo-fwdpush"),
         ):
             trace = ConvergenceTrace(stride=stride)
-            runner(
-                graph,
+            engine.query(
                 source,
-                alpha=config.alpha,
+                method=method,
                 l1_threshold=l1_threshold,
                 trace=trace,
             )
             curves[label] = trace.series_vs_time()
-
-        trace = ConvergenceTrace(stride=stride)
-        fifo_forward_push(
-            graph,
-            source,
-            alpha=config.alpha,
-            l1_threshold=l1_threshold,
-            trace=trace,
-        )
-        curves["FIFO-FwdPush"] = trace.series_vs_time()
 
         curves["BePI"] = _bepi_curve(workspace, name, source, l1_threshold)
         result.series[name] = curves
@@ -134,15 +121,15 @@ def _bepi_curve(
     l1_threshold: float,
 ) -> tuple[list[float], list[float]]:
     """One (time, l1-error) point per Delta in the decreasing sequence."""
-    graph = workspace.graph(dataset)
-    index = workspace.bepi_index(dataset)
+    engine = workspace.engine(dataset)
+    engine.bepi_index()  # exclude construction from the timed queries
     truth = workspace.ground_truth(dataset, source)
     deltas = [d for d in BEPI_DELTAS if d >= l1_threshold] + [l1_threshold]
     times: list[float] = []
     errors: list[float] = []
     for delta in deltas:
         started = time.perf_counter()
-        answer = bepi_query(graph, index, source, delta=delta)
+        answer = engine.query(source, method="bepi", delta=delta)
         times.append(time.perf_counter() - started)
         errors.append(l1_error(answer.estimate, np.asarray(truth)))
     return times, errors

@@ -17,9 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.fifo_fwdpush import fifo_forward_push
-from repro.core.power_iteration import power_iteration
-from repro.core.powerpush import power_push
 from repro.experiments.fig5 import reference_source
 from repro.experiments.report import ascii_chart, format_series
 from repro.experiments.workspace import Workspace
@@ -76,37 +73,27 @@ def run_fig6(workspace: Workspace | None = None) -> Fig6Result:
     result = Fig6Result()
     for name in config.datasets:
         graph = workspace.graph(name)
+        engine = workspace.engine(name)
         source = reference_source(workspace, name)
         result.sources[name] = source
         l1_threshold = config.l1_threshold(graph)
         stride = config.trace_stride_edges * graph.num_edges
         curves: dict[str, tuple[list[float], list[float]]] = {}
 
-        for label, runner in (
-            ("PowerPush", power_push),
-            ("PowItr", power_iteration),
+        for label, method in (
+            ("PowerPush", "powerpush"),
+            ("PowItr", "powitr"),
+            ("FIFO-FwdPush", "fifo-fwdpush"),
         ):
             trace = ConvergenceTrace(stride=stride)
-            runner(
-                graph,
+            engine.query(
                 source,
-                alpha=config.alpha,
+                method=method,
                 l1_threshold=l1_threshold,
                 trace=trace,
             )
             xs, ys = trace.series_vs_updates()
             curves[label] = ([float(x) for x in xs], ys)
-
-        trace = ConvergenceTrace(stride=stride)
-        fifo_forward_push(
-            graph,
-            source,
-            alpha=config.alpha,
-            l1_threshold=l1_threshold,
-            trace=trace,
-        )
-        xs, ys = trace.series_vs_updates()
-        curves["FIFO-FwdPush"] = ([float(x) for x in xs], ys)
 
         result.series[name] = curves
     return result

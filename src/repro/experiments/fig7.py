@@ -22,10 +22,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.baselines.fora import fora
-from repro.baselines.resacc import resacc
-from repro.core.powerpush import power_push
-from repro.core.speedppr import speed_ppr
 from repro.experiments.config import query_sources
 from repro.experiments.report import ascii_chart, format_seconds, format_table
 from repro.experiments.table2 import FORA_INDEX_EPSILON
@@ -97,7 +93,9 @@ def run_fig7(workspace: Workspace | None = None) -> Fig7Result:
 
     for name in config.datasets:
         graph = workspace.graph(name)
+        engine = workspace.engine(name)
         sources = query_sources(graph, config.num_sources, config.seed)
+        # Warm the engine caches so construction stays out of query time.
         speed_index = workspace.speedppr_index(name)
         fora_index = workspace.fora_index(name, smallest_eps)
         by_method: dict[str, list[float]] = {m: [] for m in APPROX_METHODS}
@@ -105,72 +103,21 @@ def run_fig7(workspace: Workspace | None = None) -> Fig7Result:
         for epsilon in config.epsilons:
             totals = {m: 0.0 for m in APPROX_METHODS}
             for salt, source in enumerate(sources.tolist()):
+                # One generator shared (in order) by the index-free
+                # stochastic methods, as in the paper's protocol.
                 rng = workspace.rng(salt=100 + salt)
                 runs = (
-                    (
-                        "SpeedPPR",
-                        lambda: speed_ppr(
-                            graph,
-                            source,
-                            alpha=config.alpha,
-                            epsilon=epsilon,
-                            rng=rng,
-                        ),
-                    ),
-                    (
-                        "SpeedPPR-Index",
-                        lambda: speed_ppr(
-                            graph,
-                            source,
-                            alpha=config.alpha,
-                            epsilon=epsilon,
-                            walk_index=speed_index,
-                        ),
-                    ),
-                    (
-                        "FORA",
-                        lambda: fora(
-                            graph,
-                            source,
-                            alpha=config.alpha,
-                            epsilon=epsilon,
-                            rng=rng,
-                        ),
-                    ),
-                    (
-                        "FORA-Index",
-                        lambda: fora(
-                            graph,
-                            source,
-                            alpha=config.alpha,
-                            epsilon=epsilon,
-                            walk_index=fora_index,
-                        ),
-                    ),
-                    (
-                        "ResAcc",
-                        lambda: resacc(
-                            graph,
-                            source,
-                            alpha=config.alpha,
-                            epsilon=epsilon,
-                            rng=rng,
-                        ),
-                    ),
-                    (
-                        "PowerPush",
-                        lambda: power_push(
-                            graph,
-                            source,
-                            alpha=config.alpha,
-                            l1_threshold=config.l1_threshold(graph),
-                        ),
-                    ),
+                    ("SpeedPPR", "speedppr", {"epsilon": epsilon, "rng": rng, "use_index": False}),
+                    ("SpeedPPR-Index", "speedppr", {"epsilon": epsilon, "walk_index": speed_index}),
+                    ("FORA", "fora", {"epsilon": epsilon, "rng": rng}),
+                    ("FORA-Index", "fora", {"epsilon": epsilon, "walk_index": fora_index}),
+                    ("ResAcc", "resacc", {"epsilon": epsilon, "rng": rng}),
+                    ("PowerPush", "powerpush", {"l1_threshold": config.l1_threshold(graph)}),
                 )
-                for method, runner in runs:
+                for label, method, params in runs:
                     started = time.perf_counter()
-                    runner()
-                    totals[method] += time.perf_counter() - started
+                    engine.query(source, method=method, **params)
+                    totals[label] += time.perf_counter() - started
             for method in APPROX_METHODS:
                 by_method[method].append(totals[method] / len(sources))
         result.seconds[name] = by_method

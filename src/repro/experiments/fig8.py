@@ -18,9 +18,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.baselines.fora import fora
-from repro.baselines.resacc import resacc
-from repro.core.speedppr import speed_ppr
 from repro.experiments.config import query_sources
 from repro.experiments.report import ascii_chart, format_table
 from repro.experiments.table2 import FORA_INDEX_EPSILON
@@ -91,6 +88,7 @@ def run_fig8(workspace: Workspace | None = None) -> Fig8Result:
     smallest_eps = min(min(config.epsilons), FORA_INDEX_EPSILON)
 
     for name in config.datasets:
+        engine = workspace.engine(name)
         graph = workspace.graph(name)
         sources = query_sources(graph, config.num_sources, config.seed)
         speed_index = workspace.speedppr_index(name)
@@ -102,45 +100,18 @@ def run_fig8(workspace: Workspace | None = None) -> Fig8Result:
             for salt, source in enumerate(sources.tolist()):
                 truth = np.asarray(workspace.ground_truth(name, source))
                 rng = workspace.rng(salt=200 + salt)
-                estimates = {
-                    "SpeedPPR": speed_ppr(
-                        graph,
-                        source,
-                        alpha=config.alpha,
-                        epsilon=epsilon,
-                        rng=rng,
-                    ).estimate,
-                    "SpeedPPR-Index": speed_ppr(
-                        graph,
-                        source,
-                        alpha=config.alpha,
-                        epsilon=epsilon,
-                        walk_index=speed_index,
-                    ).estimate,
-                    "FORA": fora(
-                        graph,
-                        source,
-                        alpha=config.alpha,
-                        epsilon=epsilon,
-                        rng=rng,
-                    ).estimate,
-                    "FORA-Index": fora(
-                        graph,
-                        source,
-                        alpha=config.alpha,
-                        epsilon=epsilon,
-                        walk_index=fora_index,
-                    ).estimate,
-                    "ResAcc": resacc(
-                        graph,
-                        source,
-                        alpha=config.alpha,
-                        epsilon=epsilon,
-                        rng=rng,
-                    ).estimate,
-                }
-                for method, estimate in estimates.items():
-                    totals[method] += l1_error(estimate, truth)
+                runs = (
+                    ("SpeedPPR", "speedppr", {"rng": rng, "use_index": False}),
+                    ("SpeedPPR-Index", "speedppr", {"walk_index": speed_index}),
+                    ("FORA", "fora", {"rng": rng}),
+                    ("FORA-Index", "fora", {"walk_index": fora_index}),
+                    ("ResAcc", "resacc", {"rng": rng}),
+                )
+                for label, method, params in runs:
+                    answer = engine.query(
+                        source, method=method, epsilon=epsilon, **params
+                    )
+                    totals[label] += l1_error(answer.estimate, truth)
             for method in ERROR_METHODS:
                 by_method[method].append(totals[method] / len(sources))
         result.errors[name] = by_method

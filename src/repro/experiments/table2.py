@@ -94,7 +94,7 @@ def run_table2(workspace: Workspace | None = None) -> Table2Result:
                 construction_seconds=bepi.construction_seconds,
             )
         )
-        fora_index = workspace.fora_index(name, FORA_INDEX_EPSILON)
+        fora_index = workspace.fora_index(name, FORA_INDEX_EPSILON, exact=True)
         reports.append(
             IndexReport(
                 dataset=name,

@@ -2,40 +2,35 @@
 
 Several experiments need the same expensive artifacts — generated
 datasets, BePI indexes, walk indexes, ground-truth vectors.  A
-:class:`Workspace` memoises them per process so e.g. Figure 7 and
-Figure 8 share one FORA+ index per dataset, exactly as the paper
-re-uses indexes across queries.
+:class:`Workspace` holds one :class:`~repro.api.engine.PPREngine` per
+dataset, and the engine's lazy caches are the single home of every
+per-graph index, so e.g. Figure 7 and Figure 8 share one FORA+ index
+per dataset — exactly the serving pattern the production deployment
+uses, and exactly how the paper re-uses indexes across queries.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.bepi.blockelim import BePIIndex, build_bepi_index
+from repro.api.engine import PPREngine
+from repro.bepi.blockelim import BePIIndex
 from repro.experiments.config import ExperimentConfig
 from repro.generators.datasets import load_dataset
 from repro.graph.digraph import DiGraph
 from repro.metrics.ground_truth import ground_truth_ppr
-from repro.montecarlo.chernoff import chernoff_walk_count
-from repro.walks.index import (
-    WalkIndex,
-    build_walk_index,
-    fora_plus_walk_counts,
-    speedppr_walk_counts,
-)
+from repro.walks.index import WalkIndex
 
 __all__ = ["Workspace"]
 
 
 class Workspace:
-    """Per-process cache of datasets, indexes and ground truths."""
+    """Per-process cache of datasets, engines and ground truths."""
 
     def __init__(self, config: ExperimentConfig | None = None) -> None:
         self.config = config if config is not None else ExperimentConfig()
         self._graphs: dict[str, DiGraph] = {}
-        self._bepi: dict[str, BePIIndex] = {}
-        self._speedppr_index: dict[str, WalkIndex] = {}
-        self._fora_index: dict[tuple[str, float], WalkIndex] = {}
+        self._engines: dict[str, PPREngine] = {}
         self._truth: dict[tuple[str, int], np.ndarray] = {}
 
     # ------------------------------------------------------------------
@@ -45,6 +40,20 @@ class Workspace:
             self._graphs[name] = load_dataset(name)
         return self._graphs[name]
 
+    def engine(self, name: str) -> PPREngine:
+        """The query engine for dataset ``name`` (one per process).
+
+        All experiments answer queries through this engine, so its
+        index caches and instrumentation aggregate across experiments.
+        """
+        if name not in self._engines:
+            self._engines[name] = PPREngine(
+                self.graph(name),
+                alpha=self.config.alpha,
+                seed=self.config.seed,
+            )
+        return self._engines[name]
+
     def rng(self, salt: int = 0) -> np.random.Generator:
         """A fresh deterministic generator derived from the config seed."""
         return np.random.default_rng(self.config.seed * 1_000_003 + salt)
@@ -52,47 +61,28 @@ class Workspace:
     # ------------------------------------------------------------------
     def bepi_index(self, name: str) -> BePIIndex:
         """BePI preprocessing output for dataset ``name`` (cached)."""
-        if name not in self._bepi:
-            self._bepi[name] = build_bepi_index(
-                self.graph(name), alpha=self.config.alpha
-            )
-        return self._bepi[name]
+        return self.engine(name).bepi_index()
 
     def speedppr_index(self, name: str) -> WalkIndex:
         """SpeedPPR's eps-independent walk index (``K_v = d_v``)."""
-        if name not in self._speedppr_index:
-            graph = self.graph(name)
-            self._speedppr_index[name] = build_walk_index(
-                graph,
-                speedppr_walk_counts(graph),
-                alpha=self.config.alpha,
-                policy="speedppr",
-                rng=self.rng(salt=1),
-            )
-        return self._speedppr_index[name]
+        return self.engine(name).walk_index()
 
-    def fora_index(self, name: str, epsilon: float) -> WalkIndex:
+    def fora_index(
+        self, name: str, epsilon: float, *, exact: bool = False
+    ) -> WalkIndex:
         """FORA+'s eps-dependent walk index, built for ``epsilon``.
 
         The paper builds FORA+'s index at the smallest eps in play and
-        re-uses it for larger ones — callers should do the same.
+        re-uses it for larger ones; the engine's cache implements that
+        policy.  Pass ``exact=True`` when the index itself is the
+        measurement (Table 2 reports size/build time *for this eps*).
         """
-        key = (name, epsilon)
-        if key not in self._fora_index:
-            graph = self.graph(name)
-            num_walks_w = chernoff_walk_count(
-                epsilon,
-                1.0 / graph.num_nodes,
-                p_fail=1.0 / graph.num_nodes,
-            )
-            self._fora_index[key] = build_walk_index(
-                graph,
-                fora_plus_walk_counts(graph, num_walks_w),
-                alpha=self.config.alpha,
-                policy="fora+",
-                rng=self.rng(salt=2),
-            )
-        return self._fora_index[key]
+        return self.engine(name).fora_index(
+            epsilon,
+            mu=1.0 / self.graph(name).num_nodes,
+            p_fail=1.0 / self.graph(name).num_nodes,
+            exact=exact,
+        )
 
     def ground_truth(self, name: str, source: int) -> np.ndarray:
         """High-precision ground truth ``pi_s`` for error reporting."""

@@ -1,0 +1,385 @@
+"""Tests for the stateful query engine (:mod:`repro.api.engine`)."""
+
+import numpy as np
+import pytest
+
+from repro.api import PPREngine, get_solver, solver_names
+from repro.baselines.fora import fora
+from repro.baselines.resacc import resacc
+from repro.bepi.blockelim import build_bepi_index
+from repro.bepi.solver import bepi_query
+from repro.core.fifo_fwdpush import fifo_forward_push
+from repro.core.fwdpush import forward_push
+from repro.core.power_iteration import power_iteration
+from repro.core.powerpush import power_push
+from repro.core.sim_fwdpush import simultaneous_forward_push
+from repro.core.speedppr import speed_ppr
+from repro.errors import ParameterError, UnknownMethodError
+from repro.graph.build import paper_example_graph
+from repro.montecarlo.mc import monte_carlo_ppr
+
+
+@pytest.fixture
+def graph():
+    return paper_example_graph()
+
+
+@pytest.fixture
+def engine(graph):
+    return PPREngine(graph, alpha=0.2, seed=3)
+
+
+SEED = 17
+
+
+class TestQueryParity:
+    """``engine.query(s, method=m)`` matches the direct function call.
+
+    Stochastic methods get a pinned ``seed`` (engine side) and an
+    identically-seeded generator (direct side); index-capable methods
+    run index-free so both sides draw the same walk stream.
+    """
+
+    def test_powerpush(self, graph, engine):
+        mine = engine.query(0, method="powerpush", l1_threshold=1e-8)
+        ref = power_push(graph, 0, l1_threshold=1e-8)
+        np.testing.assert_array_equal(mine.estimate, ref.estimate)
+
+    def test_powitr(self, graph, engine):
+        mine = engine.query(0, method="powitr", l1_threshold=1e-8)
+        ref = power_iteration(graph, 0, l1_threshold=1e-8)
+        np.testing.assert_array_equal(mine.estimate, ref.estimate)
+
+    def test_fifo_fwdpush(self, graph, engine):
+        mine = engine.query(0, method="fwdpush", l1_threshold=1e-8)
+        ref = fifo_forward_push(graph, 0, l1_threshold=1e-8)
+        np.testing.assert_array_equal(mine.estimate, ref.estimate)
+
+    def test_fwdpush_scheduled(self, graph, engine):
+        mine = engine.query(
+            0, method="fwdpush-scheduled", r_max=1e-4, scheduler="max-residue"
+        )
+        ref = forward_push(graph, 0, r_max=1e-4, scheduler="max-residue")
+        np.testing.assert_array_equal(mine.estimate, ref.estimate)
+
+    def test_simfwdpush(self, graph, engine):
+        mine = engine.query(0, method="simfwdpush", l1_threshold=1e-8)
+        ref = simultaneous_forward_push(graph, 0, l1_threshold=1e-8)
+        np.testing.assert_array_equal(mine.estimate, ref.estimate)
+
+    def test_bepi(self, graph, engine):
+        mine = engine.query(0, method="bepi", delta=1e-8)
+        index = build_bepi_index(graph, alpha=0.2)
+        ref = bepi_query(graph, index, 0, delta=1e-8)
+        np.testing.assert_allclose(mine.estimate, ref.estimate, atol=1e-12)
+
+    def test_speedppr(self, graph, engine):
+        mine = engine.query(
+            0, method="speedppr", use_index=False, seed=SEED
+        )
+        ref = speed_ppr(graph, 0, rng=np.random.default_rng(SEED))
+        np.testing.assert_array_equal(mine.estimate, ref.estimate)
+
+    def test_fora(self, graph, engine):
+        mine = engine.query(0, method="fora", seed=SEED)
+        ref = fora(graph, 0, rng=np.random.default_rng(SEED))
+        np.testing.assert_array_equal(mine.estimate, ref.estimate)
+
+    def test_resacc(self, graph, engine):
+        mine = engine.query(0, method="resacc", seed=SEED)
+        ref = resacc(graph, 0, rng=np.random.default_rng(SEED))
+        np.testing.assert_array_equal(mine.estimate, ref.estimate)
+
+    def test_montecarlo(self, graph, engine):
+        mine = engine.query(0, method="montecarlo", num_walks=300, seed=SEED)
+        ref = monte_carlo_ppr(
+            graph, 0, num_walks=300, rng=np.random.default_rng(SEED)
+        )
+        np.testing.assert_array_equal(mine.estimate, ref.estimate)
+
+    def test_every_registered_method_is_queryable(self, engine):
+        for name in solver_names():
+            kind = get_solver(name).kind
+            params = (
+                {"l1_threshold": 1e-6} if kind == "exact" else {"epsilon": 0.5}
+            )
+            result = engine.query(1, method=name, **params)
+            assert result.source == 1
+            assert result.estimate.shape == (engine.graph.num_nodes,)
+            assert result.estimate.sum() == pytest.approx(1.0, abs=1e-5)
+
+
+class TestIndexCaching:
+    def test_second_speedppr_query_reuses_walk_index(self, engine):
+        engine.query(0, method="speedppr", epsilon=0.5)
+        assert engine.index_builds["walk"] == 1
+        engine.query(1, method="speedppr", epsilon=0.2)  # different eps too
+        assert engine.index_builds["walk"] == 1
+        assert engine.stats.queries == 2
+
+    def test_second_bepi_query_reuses_bepi_index(self, engine):
+        engine.query(0, method="bepi")
+        engine.query(1, method="bepi")
+        assert engine.index_builds["bepi"] == 1
+
+    def test_speedppr_served_from_index_by_default(self, engine):
+        result = engine.query(0, method="speedppr", epsilon=0.5)
+        assert result.method == "SpeedPPR-Index"
+        index_free = engine.query(0, method="speedppr", use_index=False)
+        assert index_free.method == "SpeedPPR"
+        assert engine.index_builds["walk"] == 1
+
+    def test_index_queries_never_take_the_mc_shortcut(self, engine):
+        # paper_example_graph has m >= W for this loose contract; the
+        # engine-injected rng must not arm speed_ppr's m >= W shortcut
+        # and bypass the cached index
+        result = engine.query(
+            0, method="speedppr", epsilon=0.5, mu=0.05, p_fail=0.01
+        )
+        assert result.method == "SpeedPPR-Index"
+        replay = engine.query(
+            0, method="speedppr", epsilon=0.5, mu=0.05, p_fail=0.01
+        )
+        np.testing.assert_array_equal(result.estimate, replay.estimate)
+
+    def test_fora_index_cache_serves_larger_eps(self, engine):
+        engine.query(0, method="fora+", epsilon=0.1)
+        assert engine.index_builds["fora"] == 1
+        # an index built for eps=0.1 also serves eps=0.5
+        result = engine.query(0, method="fora+", epsilon=0.5)
+        assert engine.index_builds["fora"] == 1
+        assert result.method == "FORA-Index"
+
+    def test_fora_index_rebuilds_for_tighter_mu(self, engine):
+        engine.query(0, method="fora+", epsilon=0.5)
+        assert engine.index_builds["fora"] == 1
+        # tighter mu needs a larger walk budget: must not be handed the
+        # undersized cached index (used to raise IndexMismatchError)
+        result = engine.query(0, method="fora+", epsilon=0.5, mu=1e-6)
+        assert result.method == "FORA-Index"
+        assert engine.index_builds["fora"] == 2
+        # ...and the larger index now serves the default contract too
+        engine.query(0, method="fora+", epsilon=0.5)
+        assert engine.index_builds["fora"] == 2
+
+    def test_walk_index_accessor_counts_builds(self, engine):
+        first = engine.walk_index()
+        second = engine.walk_index()
+        assert first is second
+        assert engine.index_builds["walk"] == 1
+
+
+class TestBatchQuery:
+    def test_ordering_matches_sources(self, engine):
+        sources = [3, 0, 2, 0]
+        results = engine.batch_query(sources, method="powerpush")
+        assert [r.source for r in results] == sources
+
+    def test_deterministic_batch_matches_individual_queries(self, engine, graph):
+        sources = [0, 2, 4]
+        batch = engine.batch_query(
+            sources, method="powitr", l1_threshold=1e-8
+        )
+        for source, result in zip(sources, batch):
+            ref = power_iteration(graph, source, l1_threshold=1e-8)
+            np.testing.assert_array_equal(result.estimate, ref.estimate)
+
+    def test_montecarlo_batch_is_vectorised_and_ordered(self, engine):
+        sources = [4, 1, 0]
+        results = engine.batch_query(
+            sources, method="montecarlo", num_walks=200, seed=5
+        )
+        assert [r.source for r in results] == sources
+        for result in results:
+            assert result.method == "MonteCarlo"
+            assert result.counters.random_walks == 200
+            assert result.estimate.sum() == pytest.approx(1.0)
+
+    def test_montecarlo_batch_reproducible_with_seed(self, graph):
+        a = PPREngine(graph, seed=1).batch_query(
+            [0, 1], method="montecarlo", num_walks=100, seed=9
+        )
+        b = PPREngine(graph, seed=2).batch_query(
+            [0, 1], method="montecarlo", num_walks=100, seed=9
+        )
+        for left, right in zip(a, b):
+            np.testing.assert_array_equal(left.estimate, right.estimate)
+
+    def test_stochastic_batch_with_seed_varies_per_source(self, engine):
+        # same source twice in one seeded batch: independent streams
+        results = engine.batch_query(
+            [0, 0], method="montecarlo", num_walks=400, seed=3
+        )
+        assert not np.array_equal(results[0].estimate, results[1].estimate)
+
+    def test_montecarlo_batch_preserves_total_walk_steps(
+        self, engine, monkeypatch
+    ):
+        import repro.api.engine as engine_module
+
+        observed = {}
+        real = engine_module.simulate_walk_stops
+
+        def spy(*args, **kwargs):
+            stops, steps = real(*args, **kwargs)
+            observed["steps"] = steps
+            return stops, steps
+
+        monkeypatch.setattr(engine_module, "simulate_walk_stops", spy)
+        results = engine.batch_query(
+            [0, 1, 2], method="montecarlo", num_walks=100, seed=2
+        )
+        attributed = sum(r.counters.walk_steps for r in results)
+        assert attributed == observed["steps"]  # no remainder lost
+        assert max(r.counters.walk_steps for r in results) - min(
+            r.counters.walk_steps for r in results
+        ) <= 1
+
+    def test_batch_shares_one_walk_index(self, engine):
+        engine.batch_query([0, 1, 2], method="speedppr", epsilon=0.5)
+        assert engine.index_builds["walk"] == 1
+
+
+class TestTopK:
+    def test_default_is_certified(self, engine):
+        answer = engine.top_k(0, 3)
+        assert answer.certified
+        exact = power_iteration(engine.graph, 0, l1_threshold=1e-12)
+        expected = [node for node, _ in exact.top_k(3)]
+        assert [node for node, _ in answer.ranking] == expected
+
+    def test_explicit_method_ranks_that_estimate(self, engine):
+        answer = engine.top_k(0, 2, method="powitr", l1_threshold=1e-10)
+        assert len(answer.ranking) == 2
+        assert answer.certified  # tight threshold separates top-2 here
+
+    def test_rejects_bad_k(self, engine):
+        with pytest.raises(ParameterError):
+            engine.top_k(0, 0)
+
+    def test_default_top_k_honours_engine_dead_end_policy(self):
+        from repro.graph.build import from_edges
+
+        graph = from_edges([(0, 1), (1, 2)], num_nodes=3)  # 2 is a dead end
+        engine = PPREngine(graph, dead_end_policy="uniform-teleport")
+        ranking = [n for n, _ in engine.top_k(0, 3).ranking]
+        query_ranking = [
+            n for n, _ in engine.query(0, method="powerpush").top_k(3)
+        ]
+        assert ranking == query_ranking  # same policy as the engine's queries
+
+    def test_approx_methods_are_never_certified(self, engine):
+        # the gap > r_sum certificate assumes a pure push
+        # underestimate, which Monte-Carlo refinement breaks
+        answer = engine.top_k(0, 2, method="speedppr", epsilon=0.5)
+        assert not answer.certified
+        assert len(answer.ranking) == 2
+
+
+class TestEngineBehaviour:
+    def test_unknown_method_raises(self, engine):
+        with pytest.raises(UnknownMethodError):
+            engine.query(0, method="quantum-ppr")
+
+    def test_alpha_default_flows_from_engine(self, graph):
+        engine = PPREngine(graph, alpha=0.5)
+        result = engine.query(0, method="powitr", l1_threshold=1e-8)
+        assert result.alpha == 0.5
+
+    def test_stats_aggregate_per_method(self, engine):
+        engine.query(0, method="powerpush")
+        engine.query(1, method="powerpush")
+        engine.query(0, method="montecarlo", num_walks=50)
+        stats = engine.stats
+        assert stats.queries == 3
+        assert stats.by_method["PowerPush"].queries == 2
+        assert stats.by_method["MonteCarlo"].counters.random_walks == 50
+        assert "PowerPush" in stats.render()
+
+    def test_unseeded_stochastic_queries_differ_but_replay(self, graph):
+        first = PPREngine(graph, seed=42)
+        second = PPREngine(graph, seed=42)
+        a1 = first.query(0, method="montecarlo", num_walks=300)
+        a2 = first.query(0, method="montecarlo", num_walks=300)
+        b1 = second.query(0, method="montecarlo", num_walks=300)
+        # two queries on one engine use different streams...
+        assert not np.array_equal(a1.estimate, a2.estimate)
+        # ...but the engine as a whole replays deterministically
+        np.testing.assert_array_equal(a1.estimate, b1.estimate)
+
+    def test_alpha_override_bypasses_cached_walk_index(self, engine, graph):
+        engine.query(0, method="speedppr", epsilon=0.5)  # cache at alpha=0.2
+        result = engine.query(
+            0, method="speedppr", alpha=0.3, epsilon=0.5, seed=SEED
+        )
+        # must not be served from the alpha=0.2 index
+        assert result.method == "SpeedPPR"
+        assert result.alpha == 0.3
+        ref = speed_ppr(graph, 0, alpha=0.3, rng=np.random.default_rng(SEED))
+        np.testing.assert_array_equal(result.estimate, ref.estimate)
+
+    def test_alpha_override_bypasses_cached_bepi_index(self, engine, graph):
+        engine.query(0, method="bepi")  # cache at alpha=0.2
+        result = engine.query(0, method="bepi", alpha=0.5, delta=1e-10)
+        assert engine.index_builds["bepi"] == 1  # cache untouched
+        ref = power_iteration(graph, 0, alpha=0.5, l1_threshold=1e-12)
+        assert np.abs(result.estimate - ref.estimate).sum() < 1e-6
+
+    def test_explicit_use_index_with_alpha_override_builds_ad_hoc(
+        self, engine
+    ):
+        result = engine.query(
+            0, method="speedppr", alpha=0.3, epsilon=0.5,
+            use_index=True, seed=SEED,
+        )
+        assert result.method == "SpeedPPR-Index"
+        assert result.alpha == 0.3
+        assert engine.index_builds["walk"] == 0  # not the engine cache
+
+    def test_batch_query_rejects_unknown_parameters(self, engine):
+        with pytest.raises(ParameterError):
+            engine.batch_query([0, 1], method="montecarlo", num_walk=100)
+
+    def test_typoed_param_rejected_before_index_build(self, engine):
+        with pytest.raises(ParameterError):
+            engine.query(0, method="speedppr", epsilom=0.3)
+        assert engine.index_builds["walk"] == 0
+        with pytest.raises(ParameterError):
+            engine.query(0, method="bepi", detla=1e-8)
+        assert engine.index_builds["bepi"] == 0
+
+    def test_batch_montecarlo_rejects_zero_mu_like_single_query(self, engine):
+        with pytest.raises(ParameterError):
+            engine.batch_query([0, 1], method="montecarlo", mu=0.0)
+
+    def test_batch_montecarlo_chunks_large_batches(
+        self, engine, monkeypatch
+    ):
+        import repro.api.engine as engine_module
+
+        calls = []
+        real = engine_module.simulate_walk_stops
+
+        def spy(graph, starts, **kwargs):
+            calls.append(starts.shape[0])
+            return real(graph, starts, **kwargs)
+
+        monkeypatch.setattr(engine_module, "simulate_walk_stops", spy)
+        monkeypatch.setattr(engine_module, "_BATCH_WALK_BUDGET", 250)
+        sources = [0, 1, 2, 3, 4]
+        results = engine.batch_query(
+            sources, method="montecarlo", num_walks=100, seed=1
+        )
+        assert len(calls) > 1  # split into groups
+        assert max(calls) <= 250
+        assert [r.source for r in results] == sources
+        for result in results:
+            assert result.counters.random_walks == 100
+            assert result.estimate.sum() == pytest.approx(1.0)
+
+    def test_adopted_prebuilt_index_is_not_rebuilt(self, graph):
+        donor = PPREngine(graph, seed=0)
+        index = donor.walk_index()
+        engine = PPREngine(graph, seed=0, walk_index=index)
+        engine.query(0, method="speedppr", epsilon=0.5)
+        assert engine.index_builds["walk"] == 0

@@ -1,0 +1,242 @@
+"""Tests for the solver registry (:mod:`repro.api.registry`)."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    SolverSpec,
+    UnknownMethodError,
+    canonical_method_name,
+    get_solver,
+    register_solver,
+    resolve_method,
+    solve,
+    solver_names,
+    solver_specs,
+)
+from repro.api.registry import PARAMS
+from repro.core.power_iteration import power_iteration
+from repro.core.powerpush import power_push
+from repro.errors import ParameterError, ReproError
+from repro.graph.build import paper_example_graph
+
+ALL_METHODS = (
+    "bepi",
+    "fifo-fwdpush",
+    "fora",
+    "fwdpush-scheduled",
+    "montecarlo",
+    "powerpush",
+    "powitr",
+    "resacc",
+    "simfwdpush",
+    "speedppr",
+)
+
+
+class TestResolution:
+    def test_every_expected_method_is_registered(self):
+        assert tuple(solver_names()) == ALL_METHODS
+
+    @pytest.mark.parametrize(
+        "alias, canonical",
+        [
+            ("powerpush", "powerpush"),
+            ("Power-Push", "powerpush"),
+            ("ALGO3", "powerpush"),
+            ("powitr", "powitr"),
+            ("power_iteration", "powitr"),
+            ("power-iteration", "powitr"),
+            ("fwdpush", "fifo-fwdpush"),
+            ("FIFO FwdPush", "fifo-fwdpush"),
+            ("algo2", "fifo-fwdpush"),
+            ("algo1", "fwdpush-scheduled"),
+            ("simfwdpush", "simfwdpush"),
+            ("speedppr", "speedppr"),
+            ("speed_ppr", "speedppr"),
+            ("SpeedPPR-Index", "speedppr"),
+            ("fora", "fora"),
+            ("fora+", "fora"),
+            ("FORA-Index", "fora"),
+            ("resacc", "resacc"),
+            ("mc", "montecarlo"),
+            ("monte-carlo", "montecarlo"),
+            ("bepi", "bepi"),
+            ("BLOCKELIM", "bepi"),
+        ],
+    )
+    def test_alias_resolution(self, alias, canonical):
+        assert canonical_method_name(alias) == canonical
+
+    def test_variant_alias_implies_parameters(self):
+        spec, implied = resolve_method("fora+")
+        assert spec.name == "fora"
+        assert implied == {"use_index": True}
+        spec, implied = resolve_method("speedppr-index")
+        assert spec.name == "speedppr"
+        assert implied == {"use_index": True}
+        _, implied = resolve_method("fora")
+        assert implied == {}
+
+    def test_unknown_method_lists_valid_names(self):
+        with pytest.raises(UnknownMethodError) as excinfo:
+            get_solver("pagerank-turbo")
+        message = str(excinfo.value)
+        assert "pagerank-turbo" in message
+        for name in ("powerpush", "fwdpush", "speedppr", "montecarlo"):
+            assert name in message
+
+    def test_unknown_method_is_a_repro_error(self):
+        with pytest.raises(ReproError):
+            get_solver("nope")
+        with pytest.raises(KeyError):
+            get_solver("nope")
+
+
+class TestSpecs:
+    def test_kinds(self):
+        exact = {s.name for s in solver_specs() if s.kind == "exact"}
+        approx = {s.name for s in solver_specs() if s.kind == "approx"}
+        assert exact == {
+            "powerpush",
+            "powitr",
+            "fifo-fwdpush",
+            "fwdpush-scheduled",
+            "simfwdpush",
+            "bepi",
+        }
+        assert approx == {"speedppr", "fora", "resacc", "montecarlo"}
+
+    def test_capability_flags(self):
+        assert get_solver("bepi").needs_precomputation
+        assert get_solver("speedppr").needs_walk_index
+        assert get_solver("speedppr").index_by_default
+        assert get_solver("speedppr").needs_rng
+        assert not get_solver("powerpush").needs_rng
+        assert not get_solver("fora").index_by_default
+
+    def test_params_are_subset_of_unified_schema(self):
+        for spec in solver_specs():
+            for param in spec.params:
+                assert param in PARAMS, (spec.name, param)
+
+    def test_spec_rejects_bad_kind_and_bad_params(self):
+        with pytest.raises(ParameterError):
+            SolverSpec(
+                name="x", aliases=(), kind="magic", summary="", params=()
+            )
+        with pytest.raises(ParameterError):
+            SolverSpec(
+                name="x",
+                aliases=(),
+                kind="exact",
+                summary="",
+                params=("no_such_parameter",),
+            )
+
+    def test_spec_requires_a_callable_fn(self):
+        with pytest.raises(ParameterError):
+            SolverSpec(
+                name="x", aliases=(), kind="exact", summary="", params=()
+            )
+
+    def test_register_rejects_alias_collision(self):
+        clone = SolverSpec(
+            name="powerpush-2",
+            aliases=("powerpush",),  # collides with the real one
+            kind="exact",
+            summary="",
+            params=(),
+            fn=power_push,
+        )
+        with pytest.raises(ParameterError):
+            register_solver(clone)
+        assert "powerpush-2" not in solver_names()
+
+    def test_register_rejects_canonical_name_reuse(self):
+        impostor = SolverSpec(
+            name="powerpush",
+            aliases=(),
+            kind="exact",
+            summary="",
+            params=(),
+            fn=power_iteration,
+        )
+        with pytest.raises(ParameterError):
+            register_solver(impostor)
+        # the real solver is untouched
+        assert get_solver("powerpush").fn is power_push
+
+    def test_register_rejects_duplicate_spelling_within_one_spec(self):
+        twice = SolverSpec(
+            name="brand-new",
+            aliases=("brandnew",),  # normalises to the spec name itself
+            kind="exact",
+            summary="",
+            params=(),
+            fn=power_push,
+        )
+        with pytest.raises(ParameterError):
+            register_solver(twice)
+        assert "brand-new" not in solver_names()
+
+
+class TestSolve:
+    def test_unknown_parameter_rejected_with_accepted_list(self):
+        graph = paper_example_graph()
+        with pytest.raises(ParameterError) as excinfo:
+            solve(graph, 0, method="powerpush", epsilon=0.5)
+        assert "epsilon" in str(excinfo.value)
+        assert "l1_threshold" in str(excinfo.value)
+
+    def test_solve_matches_direct_call(self):
+        graph = paper_example_graph()
+        via_registry = solve(graph, 0, method="powitr", l1_threshold=1e-9)
+        direct = power_iteration(graph, 0, l1_threshold=1e-9)
+        np.testing.assert_array_equal(via_registry.estimate, direct.estimate)
+        assert via_registry.method == direct.method == "PowItr"
+
+    def test_seed_makes_stochastic_methods_reproducible(self):
+        graph = paper_example_graph()
+        first = solve(graph, 0, method="montecarlo", num_walks=500, seed=11)
+        second = solve(graph, 0, method="montecarlo", num_walks=500, seed=11)
+        other = solve(graph, 0, method="montecarlo", num_walks=500, seed=12)
+        np.testing.assert_array_equal(first.estimate, second.estimate)
+        assert not np.array_equal(first.estimate, other.estimate)
+
+    def test_params_mapping_and_kwargs_merge(self):
+        graph = paper_example_graph()
+        spec = get_solver("powitr")
+        result = spec.solve(
+            graph, 0, params={"l1_threshold": 1e-4}, l1_threshold=1e-9
+        )
+        # kwargs win over the mapping
+        assert result.r_sum <= 1e-9
+
+    def test_scheduled_fwdpush_accepts_l1_threshold(self):
+        graph = paper_example_graph()
+        result = solve(
+            graph, 0, method="fwdpush-scheduled", l1_threshold=1e-6,
+            scheduler="lifo",
+        )
+        assert result.method == "FwdPush[lifo]"
+        assert result.r_sum <= 1e-6
+
+    def test_scheduled_fwdpush_rejects_both_thresholds(self):
+        graph = paper_example_graph()
+        with pytest.raises(ParameterError):
+            solve(
+                graph, 0, method="fwdpush-scheduled",
+                l1_threshold=1e-6, r_max=1e-3,
+            )
+
+    def test_bepi_via_registry_builds_index_ad_hoc(self):
+        graph = paper_example_graph()
+        result = solve(graph, 0, method="bepi", delta=1e-10)
+        exact = power_iteration(graph, 0, l1_threshold=1e-12)
+        assert np.abs(result.estimate - exact.estimate).sum() < 1e-6
+
+    def test_fora_plus_alias_builds_walk_index(self):
+        graph = paper_example_graph()
+        result = solve(graph, 0, method="fora+", epsilon=0.5, seed=5)
+        assert result.method == "FORA-Index"

@@ -38,7 +38,25 @@ class TestCommands:
 
     @pytest.mark.parametrize(
         "method",
-        ["powerpush", "powitr", "fwdpush", "speedppr", "fora", "resacc", "montecarlo"],
+        [
+            # canonical names
+            "powerpush",
+            "powitr",
+            "fifo-fwdpush",
+            "fwdpush-scheduled",
+            "simfwdpush",
+            "bepi",
+            "speedppr",
+            "fora",
+            "resacc",
+            "montecarlo",
+            # aliases keep working (registry normalisation)
+            "fwdpush",
+            "power-iteration",
+            "fora+",
+            "speedppr-index",
+            "mc",
+        ],
     )
     def test_query_every_method(self, capsys, monkeypatch, tmp_path, method):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
@@ -60,6 +78,69 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "#1" in out
+
+    def test_query_unknown_method_exits_2_listing_names(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+        assert main(["query", "dblp-s", "--method", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        assert "powerpush" in err and "fwdpush" in err
+
+    def _query_output(self, capsys, monkeypatch, tmp_path, seed):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+        assert (
+            main(
+                [
+                    "query",
+                    "dblp-s",
+                    "--method",
+                    "montecarlo",
+                    "--epsilon",
+                    "0.5",
+                    "--seed",
+                    str(seed),
+                    "--top",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # keep only the ranking lines (the header includes wall time)
+        return [line for line in out.splitlines() if line.startswith("  #")]
+
+    def test_query_seed_makes_stochastic_methods_reproducible(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        first = self._query_output(capsys, monkeypatch, tmp_path, seed=11)
+        replay = self._query_output(capsys, monkeypatch, tmp_path, seed=11)
+        other = self._query_output(capsys, monkeypatch, tmp_path, seed=12)
+        assert first == replay
+        assert first != other
+
+    def test_query_speedppr_one_shot_is_index_free(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+        assert main(["query", "dblp-s", "--method", "speedppr"]) == 0
+        out = capsys.readouterr().out
+        # a one-shot process must not pay for the m-walk index
+        assert out.startswith("SpeedPPR on")
+        assert main(["query", "dblp-s", "--method", "speedppr-index"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("SpeedPPR-Index on")
+
+    def test_list_includes_methods(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "methods:" in out
+        assert "powerpush" in out
+        assert "aliases" in out
 
     def test_run_t1_to_file(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
