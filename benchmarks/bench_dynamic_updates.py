@@ -1,0 +1,96 @@
+"""Benchmark DY — incremental PPR maintenance vs from-scratch solves.
+
+An R-MAT graph evolves under random edge insertions/deletions while a
+:class:`~repro.api.engine.PPREngine` keeps a tracked source fresh.
+The claim under test: refreshing after a batch of updates via the push
+invariant's residue corrections costs measurably fewer residue updates
+than re-solving with PowerPush on the compacted graph, at the same
+certified ``l1_threshold``.
+
+Also runnable as a script (CI exercises this on every push)::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic_updates.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.dynamic import run_dynamic_updates
+
+#: Incremental refresh must need at most this fraction of the
+#: from-scratch residue updates, summed over all batches.
+MAX_UPDATE_RATIO = 0.85
+
+
+def test_dynamic_updates_report(benchmark, write_report):
+    result = benchmark.pedantic(
+        run_dynamic_updates, rounds=1, iterations=1
+    )
+    write_report("dynamic", result.render())
+
+    assert result.rows, "no batches measured"
+    for row in result.rows:
+        # Both routes certify l1_threshold, so the answers agree within
+        # the sum of the two certificates.
+        assert row.l1_gap <= 2.0 * result.l1_threshold + 1e-12, row
+        assert row.certified_bound <= result.l1_threshold + 1e-12, row
+    assert result.overall_ratio <= MAX_UPDATE_RATIO, (
+        f"incremental refresh used {result.overall_ratio:.3f}x the "
+        f"from-scratch residue updates (expected <= {MAX_UPDATE_RATIO})"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Script entry point; ``--smoke`` runs a seconds-scale CI check."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny deterministic run asserting the incremental win",
+    )
+    # Default to None so --smoke only shrinks sizes the user left unset.
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--edges", type=int, default=None)
+    parser.add_argument("--batches", type=int, default=None)
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=2021)
+    args = parser.parse_args(argv)
+
+    defaults = (10, 8_000, 2, 20) if args.smoke else (11, 16_000, 4, 25)
+    scale, edges, batches, batch_size = (
+        given if given is not None else fallback
+        for given, fallback in zip(
+            (args.scale, args.edges, args.batches, args.batch_size), defaults
+        )
+    )
+
+    result = run_dynamic_updates(
+        scale=scale,
+        num_edges=edges,
+        num_batches=batches,
+        batch_size=batch_size,
+        seed=args.seed,
+    )
+    print(result.render())
+    if not all(
+        row.l1_gap <= 2.0 * result.l1_threshold + 1e-12 for row in result.rows
+    ):
+        print("FAIL: incremental and from-scratch answers diverged")
+        return 1
+    if result.overall_ratio > MAX_UPDATE_RATIO:
+        print(
+            f"FAIL: update ratio {result.overall_ratio:.3f} exceeds "
+            f"{MAX_UPDATE_RATIO}"
+        )
+        return 1
+    print(
+        f"OK: incremental refresh at {result.overall_ratio:.3f}x the "
+        f"from-scratch residue updates"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Evolving-graph demo: serve PPR while the graph changes under you.
+
+Run with::
+
+    python examples/evolving_graph.py
+
+A social-style R-MAT graph receives a stream of edge insertions and
+deletions — follows and unfollows — while one
+:class:`~repro.api.PPREngine` keeps serving.  The demo shows the three
+pieces of the dynamic-graph API:
+
+* ``DynamicGraph`` — a versioned delta overlay on an immutable CSR
+  snapshot, with ``compact()`` to merge deltas back in;
+* ``engine.apply_updates`` / ``engine.track`` — every cached index is
+  stamped with the graph version it was built at and invalidated when
+  the version moves, while tracked sources are *repaired* via the push
+  invariant's degree-scaled residue corrections;
+* ``engine.query(s, method="incremental")`` — a certified refresh
+  whose cost is governed by the perturbation, not the graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DynamicGraph, PPREngine, rmat_digraph, sample_edge_update
+from repro.core.powerpush import power_push
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    base = rmat_digraph(11, 16_000, rng=rng, name="social")
+    dynamic = DynamicGraph(base)
+    engine = PPREngine(dynamic, alpha=0.2, seed=42)
+    source = 7
+
+    print(f"graph   : {base.name} (n={base.num_nodes}, m={base.num_edges})")
+    print(f"version : {dynamic.version}")
+    print()
+
+    # ------------------------------------------------------------------
+    # Track a source: one from-scratch solve, then repairs only.
+    # ------------------------------------------------------------------
+    tracker = engine.track(source, l1_threshold=1e-8)
+    first = engine.query(source, method="incremental")
+    print(f"tracked source {source}: certified bound {tracker.error_bound:.2e}")
+    print("  top-5 before updates:")
+    for rank, (node, score) in enumerate(first.top_k(5), start=1):
+        print(f"    #{rank} node {node:<6d} ppr = {score:.6f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # Stream 50 random follows/unfollows through the engine.
+    # ------------------------------------------------------------------
+    for _ in range(50):
+        engine.apply_updates([sample_edge_update(dynamic, rng)])
+    print(
+        f"applied 50 updates -> version {dynamic.version}, "
+        f"m={dynamic.num_edges}, pending deltas={dynamic.pending_updates}"
+    )
+
+    refreshed = engine.query(source, method="incremental")
+    scratch = power_push(
+        dynamic.snapshot(), source, alpha=0.2, l1_threshold=1e-8
+    )
+    gap = float(np.abs(refreshed.estimate - scratch.estimate).sum())
+    print(f"incremental refresh: {refreshed.counters.residue_updates} residue updates")
+    print(f"from-scratch solve : {scratch.counters.residue_updates} residue updates")
+    print(
+        f"  -> {refreshed.counters.residue_updates / scratch.counters.residue_updates:.2f}x "
+        f"the work, answers agree to {gap:.2e} (certified)"
+    )
+    print("  top-5 after updates:")
+    for rank, (node, score) in enumerate(refreshed.top_k(5), start=1):
+        print(f"    #{rank} node {node:<6d} ppr = {score:.6f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # Version-stamped caches: indexes never serve a stale graph.
+    # ------------------------------------------------------------------
+    engine.query(source, method="speedppr", epsilon=0.3)
+    print(f"walk-index builds so far        : {engine.index_builds['walk']}")
+    engine.apply_updates([sample_edge_update(dynamic, rng)])
+    engine.query(source, method="speedppr", epsilon=0.3)
+    print(f"after one more update + query   : {engine.index_builds['walk']}")
+    print(f"stale indexes invalidated       : {engine.index_invalidations['walk']}")
+    print()
+
+    # Compaction merges the overlay into a fresh CSR base; the logical
+    # graph (and every cached artefact's validity) is unchanged.
+    dynamic.compact()
+    print(f"after compact(): pending deltas = {dynamic.pending_updates}")
+    print()
+    print("engine instrumentation:")
+    print(engine.stats.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -87,14 +87,17 @@ from repro.generators import (
     power_law_digraph,
     rmat_digraph,
 )
+from repro.core.incremental import IncrementalPPR
 from repro.graph import (
     DiGraph,
+    DynamicGraph,
     compute_stats,
     from_adjacency,
     from_edge_arrays,
     from_edges,
     paper_example_graph,
     read_edge_list,
+    sample_edge_update,
 )
 from repro.metrics import (
     ground_truth_ppr,
@@ -124,6 +127,9 @@ __all__ = [
     "UnknownMethodError",
     # graph
     "DiGraph",
+    "DynamicGraph",
+    "sample_edge_update",
+    "IncrementalPPR",
     "from_edges",
     "from_edge_arrays",
     "from_adjacency",

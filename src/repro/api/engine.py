@@ -18,28 +18,56 @@ Monte-Carlo); ``engine.top_k`` adds certified top-k answers; and
 ``engine.stats`` aggregates instrumentation across the engine's
 lifetime.  ``index_builds`` counts how often each index kind was
 constructed, so tests (and operators) can assert reuse.
+
+Evolving graphs
+---------------
+An engine built on a :class:`~repro.graph.dynamic.DynamicGraph` serves
+the same API against a graph that changes under it.  Every cached
+artefact is stamped with the graph version it was built at; after
+``engine.apply_updates(edges)`` the stale artefacts are dropped on the
+next query (``index_invalidations`` counts them), so no query is ever
+served from an index of a previous graph version.  Sources registered
+with ``engine.track(source)`` keep a
+:class:`~repro.core.incremental.IncrementalPPR` pair that is
+*repaired* instead of rebuilt — ``engine.query(s, method="incremental")``
+replays pending updates with degree-scaled residue corrections and
+re-certifies, at a cost governed by the perturbation.
+
+Warm starts
+-----------
+``save_indexes(dir)`` / ``load_indexes(dir)`` persist the walk-based
+indexes (via :mod:`repro.walks.storage`) together with a manifest
+recording the graph's shape and version; loading refuses stale or
+mismatched artefacts, so a restarted server either skips preprocessing
+safely or rebuilds.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterable, Sequence
 
 import numpy as np
 
 from repro.api.registry import (
     SolverSpec,
+    _normalize,
     build_fora_index,
     build_speedppr_index,
     resolve_method,
 )
 from repro.bepi.blockelim import BePIIndex, build_bepi_index
+from repro.core.incremental import IncrementalPPR
 from repro.core.result import PPRResult
 from repro.core.topk import TopKResult, top_k_ppr
 from repro.core.validation import check_source
-from repro.errors import ParameterError
+from repro.errors import IndexMismatchError, ParameterError
 from repro.graph.digraph import DiGraph
+from repro.graph.dynamic import DynamicGraph
 from repro.instrumentation.counters import PushCounters
 from repro.montecarlo.chernoff import (
     chernoff_walk_count,
@@ -48,8 +76,62 @@ from repro.montecarlo.chernoff import (
 )
 from repro.walks.engine import simulate_walk_stops
 from repro.walks.index import WalkIndex
+from repro.walks.storage import load_walk_index, save_walk_index
 
-__all__ = ["PPREngine", "EngineStats", "MethodStats"]
+__all__ = [
+    "PPREngine",
+    "EngineStats",
+    "MethodStats",
+    "INCREMENTAL_METHOD_NAMES",
+    "INCREMENTAL_METHOD_PARAMS",
+    "is_incremental_method",
+]
+
+#: Accepted spellings of the engine-level incremental method (not in
+#: the solver registry — it needs per-engine tracker state).  Canonical
+#: name first; the CLI's ``methods`` listing derives its aliases from
+#: this tuple, so there is exactly one place to extend.
+INCREMENTAL_METHOD_NAMES: tuple[str, ...] = (
+    "incremental",
+    "tracked",
+    "incremental-ppr",
+)
+_INCREMENTAL_NAMES = frozenset(
+    _normalize(name) for name in INCREMENTAL_METHOD_NAMES
+)
+
+#: Parameters the incremental method accepts (the CLI listing prints
+#: these, so keep them in one place like the names above).
+INCREMENTAL_METHOD_PARAMS: tuple[str, ...] = ("l1_threshold", "trace")
+
+
+def is_incremental_method(name: str) -> bool:
+    """Whether ``name`` spells the engine-level incremental method.
+
+    Uses the registry's normalisation, so every separator variant the
+    registry accepts (``incremental-ppr``, ``incremental ppr`` …) is
+    recognised here too.
+    """
+    return _normalize(name) in _INCREMENTAL_NAMES
+
+#: File name of the index-persistence manifest written by save_indexes.
+_MANIFEST_NAME = "manifest.json"
+_MANIFEST_FORMAT = 1
+
+
+def _graph_fingerprint(graph: DiGraph) -> str:
+    """Content hash of a CSR snapshot — the staleness stamp for indexes.
+
+    Hashing the actual adjacency arrays (not a session-local version
+    counter) means a server restarted on the same persisted graph can
+    warm-start, while an index saved for *any* other graph — including
+    a same-shaped one — is refused.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.int64(graph.num_nodes).tobytes())
+    digest.update(np.ascontiguousarray(graph.out_indptr).tobytes())
+    digest.update(np.ascontiguousarray(graph.out_indices).tobytes())
+    return digest.hexdigest()
 
 #: rng-stream salts; chosen to match the historical Workspace streams so
 #: experiment artefacts are bit-identical across the refactor.
@@ -109,7 +191,10 @@ class PPREngine:
     Parameters
     ----------
     graph:
-        The graph all queries run against.
+        The graph all queries run against — an immutable
+        :class:`~repro.graph.digraph.DiGraph`, or a
+        :class:`~repro.graph.dynamic.DynamicGraph` to serve an
+        evolving graph (enables ``apply_updates`` / ``track``).
     alpha:
         Default teleport probability for every query (overridable
         per query).
@@ -125,7 +210,7 @@ class PPREngine:
 
     def __init__(
         self,
-        graph: DiGraph,
+        graph: DiGraph | DynamicGraph,
         *,
         alpha: float = 0.2,
         seed: int = 0,
@@ -133,18 +218,148 @@ class PPREngine:
         walk_index: WalkIndex | None = None,
         bepi_index: BePIIndex | None = None,
     ) -> None:
-        self.graph = graph
+        if isinstance(graph, DynamicGraph):
+            self._dynamic: DynamicGraph | None = graph
+            self._static_graph: DiGraph | None = None
+        else:
+            self._dynamic = None
+            self._static_graph = graph
         self.alpha = alpha
         self.seed = seed
         self.dead_end_policy = dead_end_policy
         self._walk_index = walk_index
         self._bepi_index = bepi_index
-        #: (walk budget W the index was built for, index), insertion order
-        self._fora_indexes: list[tuple[int, WalkIndex]] = []
+        #: (walk budget W, index, graph version built at), insertion order
+        self._fora_indexes: list[tuple[int, WalkIndex, int]] = []
+        #: graph version each singleton artefact was built/adopted at
+        self._artefact_versions = {
+            "walk": self.graph_version,
+            "bepi": self.graph_version,
+        }
         #: how many times each index kind was built (tests assert reuse)
         self.index_builds: dict[str, int] = {"walk": 0, "bepi": 0, "fora": 0}
+        #: stale artefacts dropped after graph-version changes
+        self.index_invalidations: dict[str, int] = {
+            "walk": 0,
+            "bepi": 0,
+            "fora": 0,
+        }
+        self._trackers: dict[int, IncrementalPPR] = {}
         self.stats = EngineStats()
         self._query_counter = 0
+
+    # -- graph versioning ----------------------------------------------
+    @property
+    def graph(self) -> DiGraph:
+        """The current immutable snapshot all queries run against."""
+        if self._dynamic is not None:
+            return self._dynamic.snapshot()
+        assert self._static_graph is not None
+        return self._static_graph
+
+    @property
+    def graph_version(self) -> int:
+        """Version of the served graph (always 0 for a static graph)."""
+        return self._dynamic.version if self._dynamic is not None else 0
+
+    @property
+    def dynamic_graph(self) -> DynamicGraph | None:
+        """The underlying :class:`DynamicGraph`, or None when static."""
+        return self._dynamic
+
+    def apply_updates(self, updates: Iterable[tuple[str, int, int]]) -> int:
+        """Apply ``(op, u, v)`` edge updates; return the new graph version.
+
+        Cached artefacts built at older versions are invalidated (or,
+        for tracked sources, incrementally repaired) lazily on the next
+        query that needs them.  Requires the engine to have been built
+        on a :class:`DynamicGraph`.
+
+        The engine assumes it owns its dynamic graph's journal: it
+        trims replayed entries behind its own trackers' progress.  An
+        :class:`IncrementalPPR` created *outside* this engine on the
+        same graph stays correct but may lose its incremental
+        advantage (trimmed entries force it to resync from a
+        snapshot) — route trackers through :meth:`track` instead.
+        """
+        if self._dynamic is None:
+            raise ParameterError(
+                "engine serves an immutable DiGraph; construct it with a "
+                "repro.graph.DynamicGraph to apply updates"
+            )
+        version = self._dynamic.apply_updates(updates)
+        if not self._trackers:
+            # No tracker will ever replay these entries (a future
+            # track() starts from the then-current version).
+            self._dynamic.trim_journal(version)
+        return version
+
+    def track(
+        self, source: int, *, l1_threshold: float = 1e-8
+    ) -> IncrementalPPR:
+        """Maintain the PPR vector of ``source`` across graph updates.
+
+        The initial from-scratch solve happens here; afterwards
+        ``query(source, method="incremental")`` repairs the tracked
+        pair instead of re-solving.  Re-tracking an already tracked
+        source returns the existing tracker; asking for a *different*
+        ``l1_threshold`` than the existing tracker's raises (call
+        :meth:`untrack` first to change the contract).
+        """
+        if self._dynamic is None:
+            raise ParameterError(
+                "tracking needs an evolving graph; construct the engine "
+                "with a repro.graph.DynamicGraph"
+            )
+        source = int(source)
+        tracker = self._trackers.get(source)
+        if tracker is not None:
+            if l1_threshold != tracker.l1_threshold:
+                raise ParameterError(
+                    f"source {source} is already tracked at "
+                    f"l1_threshold={tracker.l1_threshold}; untrack() it "
+                    f"to change the contract"
+                )
+            return tracker
+        tracker = IncrementalPPR(
+            self._dynamic,
+            source,
+            alpha=self.alpha,
+            l1_threshold=l1_threshold,
+        )
+        self._trackers[source] = tracker
+        return tracker
+
+    def untrack(self, source: int) -> None:
+        """Stop maintaining ``source``; no-op when it was not tracked."""
+        self._trackers.pop(int(source), None)
+
+    @property
+    def tracked_sources(self) -> tuple[int, ...]:
+        """Sources currently maintained incrementally, ascending."""
+        return tuple(sorted(self._trackers))
+
+    def _sync_caches(self) -> None:
+        """Drop artefacts built at a graph version older than current."""
+        version = self.graph_version
+        if (
+            self._walk_index is not None
+            and self._artefact_versions["walk"] != version
+        ):
+            self._walk_index = None
+            self.index_invalidations["walk"] += 1
+        if (
+            self._bepi_index is not None
+            and self._artefact_versions["bepi"] != version
+        ):
+            self._bepi_index = None
+            self.index_invalidations["bepi"] += 1
+        if self._fora_indexes:
+            fresh = [e for e in self._fora_indexes if e[2] == version]
+            self.index_invalidations["fora"] += len(self._fora_indexes) - len(
+                fresh
+            )
+            self._fora_indexes = fresh
 
     # -- cached per-graph artefacts ------------------------------------
     def rng(self, salt: int = 0) -> np.random.Generator:
@@ -153,17 +368,21 @@ class PPREngine:
 
     def walk_index(self) -> WalkIndex:
         """SpeedPPR's eps-independent walk index (built once, cached)."""
+        self._sync_caches()
         if self._walk_index is None:
             self._walk_index = build_speedppr_index(
                 self.graph, alpha=self.alpha, rng=self.rng(_WALK_INDEX_SALT)
             )
+            self._artefact_versions["walk"] = self.graph_version
             self.index_builds["walk"] += 1
         return self._walk_index
 
     def bepi_index(self) -> BePIIndex:
         """BePI's block-elimination preprocessing (built once, cached)."""
+        self._sync_caches()
         if self._bepi_index is None:
             self._bepi_index = build_bepi_index(self.graph, alpha=self.alpha)
+            self._artefact_versions["bepi"] = self.graph_version
             self.index_builds["bepi"] += 1
         return self._bepi_index
 
@@ -192,13 +411,14 @@ class PPREngine:
         of *this* contract's index, not a larger one that happens to
         serve it.
         """
+        self._sync_caches()
         if mu is None:
             mu = default_mu(self.graph.num_nodes)
         if p_fail is None:
             p_fail = default_failure_probability(self.graph.num_nodes)
         needed_w = chernoff_walk_count(epsilon, mu, p_fail=p_fail)
         best: tuple[int, WalkIndex] | None = None
-        for built_w, index in self._fora_indexes:
+        for built_w, index, _version in self._fora_indexes:
             sufficient = built_w == needed_w if exact else built_w >= needed_w
             if sufficient and (best is None or built_w < best[0]):
                 best = (built_w, index)
@@ -212,7 +432,7 @@ class PPREngine:
             p_fail=p_fail,
             rng=self.rng(_FORA_INDEX_SALT),
         )
-        self._fora_indexes.append((needed_w, index))
+        self._fora_indexes.append((needed_w, index, self.graph_version))
         self.index_builds["fora"] += 1
         return index
 
@@ -231,7 +451,15 @@ class PPREngine:
         * ``use_index=False`` forces index-capable methods to run
           index-free; methods flagged ``index_by_default`` (SpeedPPR)
           are served from the cached walk index automatically.
+
+        ``method="incremental"`` (engine-level, not in the registry)
+        serves a tracked source from its maintained ``(p, r)`` pair,
+        repairing it first when graph updates are pending; the source
+        is tracked automatically on first use.
         """
+        if is_incremental_method(method):
+            return self._query_incremental(source, params)
+        self._sync_caches()
         spec, merged = resolve_method(method)
         merged.update(params)
         # Fail on typo'd names before _prepare builds (and caches) any
@@ -258,6 +486,10 @@ class PPREngine:
         and every other method loops.
         """
         sources = [int(s) for s in sources]
+        if is_incremental_method(method):
+            return [
+                self.query(source, method, **params) for source in sources
+            ]
         spec, merged = resolve_method(method)
         merged.update(params)
         spec.validate_params(merged)
@@ -308,33 +540,198 @@ class PPREngine:
             self._query_counter += 1
             self.stats.record(answer.result)
             return answer
+        if is_incremental_method(method):
+            # A repaired pair's estimate is within sum(|r|) of pi in
+            # every coordinate, so separation by more than that bound
+            # certifies the set (signed residues rule out the tighter
+            # pure-underestimate argument).
+            return self._rank_result(self.query(source, method, **params), k)
         spec, _ = resolve_method(method)
-        result = self.query(source, method, **params)
+        # The separation certificate relies on the estimate being a
+        # pure push underestimate; the Monte-Carlo phase of approximate
+        # methods can overestimate nodes, so their rankings are never
+        # certified.
+        return self._rank_result(
+            self.query(source, method, **params),
+            k,
+            certifiable=spec.kind == "exact",
+        )
+
+    def _rank_result(
+        self, result: PPRResult, k: int, *, certifiable: bool = True
+    ) -> TopKResult:
+        """Rank one query's estimate, certifying on residue separation."""
         ranked = result.top_k(min(k + 1, self.graph.num_nodes))
         ranking = ranked[:k]
         kth = ranked[k - 1][1] if len(ranked) >= k else 0.0
         next_value = ranked[k][1] if len(ranked) > k else 0.0
         gap = kth - next_value
-        # The ``gap > r_sum`` separation certificate relies on the
-        # estimate being a pure push underestimate; the Monte-Carlo
-        # phase of approximate methods can overestimate nodes, so
-        # their rankings are never certified.
-        certified = (
-            spec.kind == "exact"
-            and result.residue is not None
-            and gap > result.r_sum
+        # sum(|r|) equals r_sum for the non-negative residues of the
+        # push solvers and stays a valid l1 bound for the signed
+        # residues of incremental repair.
+        bound = (
+            float(np.abs(result.residue).sum())
+            if result.residue is not None
+            else float("nan")
         )
+        certified = certifiable and result.residue is not None and gap > bound
         return TopKResult(
             ranking=ranking,
             certified=certified,
             gap=gap,
             # NaN for residue-less methods (BePI, Monte-Carlo): no push
             # threshold exists for this ranking.
-            l1_threshold=float(result.r_sum),
+            l1_threshold=bound,
             result=result,
         )
 
+    # -- index persistence ----------------------------------------------
+    def save_indexes(self, directory: str | Path) -> Path:
+        """Persist the cached walk-based indexes for a warm start.
+
+        Writes each cached :class:`WalkIndex` (SpeedPPR's and any
+        FORA+ budgets) through :mod:`repro.walks.storage` plus a
+        ``manifest.json`` stamping the graph's shape and version, and
+        returns the manifest path.  BePI's factorisation holds live
+        scipy solver objects and is rebuilt lazily instead of
+        persisted.
+        """
+        self._sync_caches()
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        graph = self.graph
+        indexes: list[dict[str, Any]] = []
+        if self._walk_index is not None:
+            save_walk_index(self._walk_index, directory / "walk.npz")
+            indexes.append({"kind": "walk", "file": "walk.npz"})
+        for built_w, index, _version in self._fora_indexes:
+            file_name = f"fora_w{built_w}.npz"
+            save_walk_index(index, directory / file_name)
+            indexes.append(
+                {"kind": "fora", "file": file_name, "walk_budget": built_w}
+            )
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "alpha": self.alpha,
+            "graph": {
+                "name": graph.name,
+                "num_nodes": graph.num_nodes,
+                "num_edges": graph.num_edges,
+                # Informational; staleness is judged by the fingerprint.
+                "version": self.graph_version,
+                "fingerprint": _graph_fingerprint(graph),
+            },
+            "indexes": indexes,
+        }
+        manifest_path = directory / _MANIFEST_NAME
+        manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+        return manifest_path
+
+    def load_indexes(self, directory: str | Path) -> int:
+        """Adopt indexes saved by :meth:`save_indexes`; return how many.
+
+        Idempotent: re-loading replaces the walk index and skips FORA
+        budgets already cached (skipped entries are not counted).
+
+        Stale artefacts are refused outright: the manifest's graph
+        fingerprint (a content hash of the CSR arrays) must match the
+        engine's current snapshot, and its alpha must match the
+        engine's — a restarted server therefore either warm-starts
+        safely (even on a re-wrapped :class:`DynamicGraph` whose
+        version counter restarted at 0) or gets a clean
+        :class:`~repro.errors.IndexMismatchError` and rebuilds.
+        """
+        directory = Path(directory)
+        manifest_path = directory / _MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise IndexMismatchError(
+                f"no index manifest at {manifest_path}"
+            )
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("format") != _MANIFEST_FORMAT:
+            raise IndexMismatchError(
+                f"unsupported index manifest format {manifest.get('format')!r}"
+            )
+        if manifest["alpha"] != self.alpha:
+            raise IndexMismatchError(
+                f"indexes saved at alpha={manifest['alpha']}, engine runs "
+                f"alpha={self.alpha}"
+            )
+        graph = self.graph
+        stamp = manifest["graph"]
+        if stamp["fingerprint"] != _graph_fingerprint(graph):
+            raise IndexMismatchError(
+                f"stale indexes: saved for n={stamp['num_nodes']}, "
+                f"m={stamp['num_edges']} at graph version "
+                f"{stamp['version']}; the engine's current snapshot "
+                f"(n={graph.num_nodes}, m={graph.num_edges}, "
+                f"version={self.graph_version}) has different content"
+            )
+        self._sync_caches()
+        cached_budgets = {built_w for built_w, _, _ in self._fora_indexes}
+        loaded = 0
+        for entry in manifest["indexes"]:
+            if entry["kind"] == "walk":
+                index = load_walk_index(directory / entry["file"])
+                index.check_graph(graph)
+                self._walk_index = index
+                self._artefact_versions["walk"] = self.graph_version
+            elif entry["kind"] == "fora":
+                budget = int(entry["walk_budget"])
+                if budget in cached_budgets:
+                    continue  # re-loading must not duplicate entries
+                index = load_walk_index(directory / entry["file"])
+                index.check_graph(graph)
+                self._fora_indexes.append(
+                    (budget, index, self.graph_version)
+                )
+                cached_budgets.add(budget)
+            else:
+                raise IndexMismatchError(
+                    f"unknown index kind {entry['kind']!r} in manifest"
+                )
+            loaded += 1
+        return loaded
+
     # -- internals -------------------------------------------------------
+    def _query_incremental(
+        self, source: int, params: dict[str, Any]
+    ) -> PPRResult:
+        """Serve (and first repair) a tracked source's maintained pair."""
+        allowed = set(INCREMENTAL_METHOD_PARAMS)
+        unknown = sorted(set(params) - allowed)
+        if unknown:
+            raise ParameterError(
+                f"method 'incremental' does not accept parameter(s) "
+                f"{', '.join(unknown)}; accepted: {', '.join(sorted(allowed))}"
+            )
+        tracker = self._trackers.get(int(source))
+        if tracker is None:
+            tracker = self.track(
+                source, l1_threshold=params.get("l1_threshold", 1e-8)
+            )
+        elif (
+            "l1_threshold" in params
+            and params["l1_threshold"] != tracker.l1_threshold
+        ):
+            raise ParameterError(
+                f"source {source} is tracked at "
+                f"l1_threshold={tracker.l1_threshold}; untrack() and "
+                f"re-track to change it"
+            )
+        self._query_counter += 1
+        result = tracker.refresh(trace=params.get("trace"))
+        self.stats.record(result)
+        # Every tracker at or past this version has replayed the prefix;
+        # reclaim it so journal memory tracks pending work, not lifetime
+        # updates.  (Trackers owned elsewhere that fell behind the floor
+        # resync from a snapshot — see IncrementalPPR.refresh.)
+        assert self._dynamic is not None
+        self._dynamic.trim_journal(
+            min(t.version for t in self._trackers.values())
+        )
+        return result
+
     def _prepare(self, spec: SolverSpec, merged: dict[str, Any]) -> None:
         """Fill engine defaults and inject cached artefacts in place."""
         if spec.accepts("alpha"):

@@ -18,7 +18,14 @@ alias works, and stochastic methods are reproducible via ``--seed``::
     repro-ppr query dblp-s --method fora+ --epsilon 0.3
 
 ``repro-ppr list`` prints the experiments, the datasets, and every
-registered solver with its aliases.
+registered solver with its aliases; ``repro-ppr methods`` prints the
+full registry (kind, aliases, capability flags), so users can discover
+valid spellings without tripping ``UnknownMethodError``.
+
+Benchmark the dynamic-graph path — incremental refresh vs from-scratch
+solves while edge updates stream in::
+
+    repro-ppr update-bench --batches 4 --batch-size 25
 """
 
 from __future__ import annotations
@@ -28,8 +35,14 @@ import sys
 from pathlib import Path
 
 from repro.api import PPREngine, resolve_method, solver_specs
+from repro.api.engine import (
+    INCREMENTAL_METHOD_NAMES,
+    INCREMENTAL_METHOD_PARAMS,
+    is_incremental_method,
+)
 from repro.errors import ReproError
 from repro.experiments.config import bench_config, full_config
+from repro.experiments.dynamic import run_dynamic_updates
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.experiments.workspace import Workspace
 from repro.generators.datasets import dataset_names, load_dataset
@@ -82,6 +95,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("list", help="list experiments, datasets, and methods")
+
+    sub.add_parser(
+        "methods",
+        help="print the solver registry (kind, aliases, capability flags)",
+    )
+
+    bench = sub.add_parser(
+        "update-bench",
+        help="benchmark incremental PPR maintenance under edge updates",
+    )
+    bench.add_argument(
+        "--scale", type=int, default=11, help="log2 of the R-MAT id space"
+    )
+    bench.add_argument(
+        "--edges", type=int, default=16_000, help="initial edge count"
+    )
+    bench.add_argument("--batches", type=int, default=4)
+    bench.add_argument(
+        "--batch-size", type=int, default=25, help="edge updates per batch"
+    )
+    bench.add_argument("--alpha", type=float, default=0.2)
+    bench.add_argument("--l1-threshold", type=float, default=1e-8)
+    bench.add_argument("--seed", type=int, default=2021)
+    bench.add_argument(
+        "--compact",
+        action="store_true",
+        help="compact the delta overlay after every batch",
+    )
+    bench.add_argument("--out", type=Path, help="also write the report here")
     return parser
 
 
@@ -92,10 +134,14 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
+        if args.command == "methods":
+            return _cmd_methods()
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "update-bench":
+            return _cmd_update_bench(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -116,6 +162,55 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_methods() -> int:
+    """The full solver registry, one block per method."""
+    for spec in solver_specs():
+        print(f"{spec.name} [{spec.kind}]")
+        print(f"  {spec.summary}")
+        if spec.aliases:
+            print(f"  aliases : {', '.join(spec.aliases)}")
+        flags = [
+            label
+            for label, enabled in (
+                ("needs-rng", spec.needs_rng),
+                ("walk-index", spec.needs_walk_index),
+                ("precomputation", spec.needs_precomputation),
+                ("index-by-default", spec.index_by_default),
+            )
+            if enabled
+        ]
+        print(f"  flags   : {', '.join(flags) if flags else '-'}")
+        print(f"  params  : {', '.join(spec.params)}")
+    canonical, *aliases = INCREMENTAL_METHOD_NAMES
+    print(f"{canonical} [engine]")
+    print(
+        "  Tracked-source maintenance on a DynamicGraph (engine-level, "
+        "resolved by PPREngine rather than the registry)"
+    )
+    print(f"  aliases : {', '.join(aliases)}")
+    print(f"  params  : {', '.join(INCREMENTAL_METHOD_PARAMS)}")
+    return 0
+
+
+def _cmd_update_bench(args: argparse.Namespace) -> int:
+    result = run_dynamic_updates(
+        scale=args.scale,
+        num_edges=args.edges,
+        num_batches=args.batches,
+        batch_size=args.batch_size,
+        alpha=args.alpha,
+        l1_threshold=args.l1_threshold,
+        seed=args.seed,
+        compact_every_batch=args.compact,
+    )
+    report = result.render()
+    print(report)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report + "\n")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = full_config() if args.full else bench_config()
     workspace = Workspace(config)
@@ -133,6 +228,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if is_incremental_method(args.method):
+        # Engine-level method: wrap the dataset so the engine can track
+        # (a one-shot CLI query just pays the initial solve).
+        from repro.graph.dynamic import DynamicGraph
+
+        dynamic = DynamicGraph(load_dataset(args.dataset))
+        engine = PPREngine(dynamic, alpha=args.alpha, seed=args.seed)
+        result = engine.query(
+            args.source,
+            method="incremental",
+            l1_threshold=args.l1_threshold,
+        )
+        return _print_query_result(args, dynamic.base, result)
     spec, implied = resolve_method(args.method)  # fail fast, pre dataset load
     graph = load_dataset(args.dataset)
     engine = PPREngine(graph, alpha=args.alpha, seed=args.seed)
@@ -148,6 +256,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         # than it saves.  Index variants (speedppr-index, fora+) opt in.
         params["use_index"] = False
     result = engine.query(args.source, method=args.method, **params)
+    return _print_query_result(args, graph, result)
+
+
+def _print_query_result(args: argparse.Namespace, graph, result) -> int:
     print(
         f"{result.method} on {args.dataset} (n={graph.num_nodes}, "
         f"m={graph.num_edges}), source={args.source}: "

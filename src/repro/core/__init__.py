@@ -12,6 +12,7 @@ All entry points share the same conventions:
 from repro.core.backward_push import backward_push
 from repro.core.fifo_fwdpush import fifo_forward_push, r_max_for_l1_threshold
 from repro.core.fwdpush import forward_push
+from repro.core.incremental import IncrementalPPR
 from repro.core.kernels import frontier_push, global_sweep, sweep_active
 from repro.core.mc_phase import monte_carlo_refine, required_walks
 from repro.core.pagerank import pagerank, preference_pagerank
@@ -37,6 +38,7 @@ __all__ = [
     "r_max_for_l1_threshold",
     "power_push",
     "PowerPushConfig",
+    "IncrementalPPR",
     "refine_to_r_max",
     "speed_ppr",
     "pagerank",

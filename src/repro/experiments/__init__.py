@@ -13,6 +13,7 @@ from repro.experiments.config import (
     full_config,
     query_sources,
 )
+from repro.experiments.dynamic import run_dynamic, run_dynamic_updates
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
@@ -38,6 +39,8 @@ __all__ = [
     "run_fig8",
     "run_powerpush_ablation",
     "run_scheduling_ablation",
+    "run_dynamic",
+    "run_dynamic_updates",
     "EXPERIMENTS",
     "experiment_ids",
     "run_experiment",

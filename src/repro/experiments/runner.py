@@ -1,8 +1,9 @@
 """Registry and dispatcher for the reproduction experiments.
 
 Maps experiment ids (T1, T2, F4-F8, A1, A2 — the ids used in
-DESIGN.md's per-experiment index) to their runners, so the CLI and the
-benchmark suite share one entry point:
+DESIGN.md's per-experiment index — plus DY, the dynamic-graph
+workload) to their runners, so the CLI and the benchmark suite share
+one entry point:
 
 >>> from repro.experiments import run_experiment
 >>> text = run_experiment("T1").render()  # doctest: +SKIP
@@ -17,6 +18,7 @@ from repro.experiments.ablations import (
     run_powerpush_ablation,
     run_scheduling_ablation,
 )
+from repro.experiments.dynamic import run_dynamic
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
@@ -45,6 +47,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[Workspace], Renderable]]] = {
     "F8": ("Figure 8 — approximate l1-error vs eps", run_fig8),
     "A1": ("Ablation — PowerPush design choices", run_powerpush_ablation),
     "A2": ("Ablation — FwdPush scheduling orders", run_scheduling_ablation),
+    "DY": (
+        "Dynamic — incremental PPR maintenance vs from-scratch",
+        run_dynamic,
+    ),
 }
 
 

@@ -17,6 +17,7 @@ from repro.graph.build import (
 )
 from repro.graph.cleaning import CleaningReport, clean, remove_isolated_nodes
 from repro.graph.digraph import DiGraph
+from repro.graph.dynamic import DynamicGraph, EdgeUpdate, sample_edge_update
 from repro.graph.io import (
     load_npz,
     parse_edge_list,
@@ -29,6 +30,9 @@ from repro.graph.transforms import DeadEndRule, apply_dead_end_rule, symmetrize
 
 __all__ = [
     "DiGraph",
+    "DynamicGraph",
+    "EdgeUpdate",
+    "sample_edge_update",
     "from_edges",
     "from_edge_arrays",
     "from_adjacency",

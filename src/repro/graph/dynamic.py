@@ -1,0 +1,450 @@
+"""Versioned dynamic graphs: an immutable CSR base plus a delta overlay.
+
+:class:`~repro.graph.digraph.DiGraph` is deliberately immutable — every
+algorithm in the library relies on its CSR arrays never changing under
+it.  Evolving workloads therefore go through :class:`DynamicGraph`,
+which layers mutable insert/delete buffers over an immutable base
+snapshot:
+
+* every successful mutation bumps a monotonically increasing
+  ``version`` (the cache-invalidation key used by
+  :class:`~repro.api.engine.PPREngine`),
+* :meth:`snapshot` materialises the current logical graph as a fresh
+  immutable :class:`DiGraph` (cached per version, so repeated reads at
+  the same version are free),
+* :meth:`compact` merges the deltas into the base snapshot, resetting
+  the overlay without changing the logical graph or its version,
+* an append-only **journal** records ``(version, op, u, v,
+  old out-degree of u)`` for every mutation, which is exactly the
+  information :class:`~repro.core.incremental.IncrementalPPR` needs to
+  apply the paper's push-invariant residue corrections lazily; once
+  every consumer has caught up, :meth:`trim_journal` reclaims the
+  replayed prefix so memory tracks *pending* work, not lifetime
+  updates (the engine trims automatically behind its trackers).
+
+The node set is fixed at construction (dense ids ``0..n-1``), matching
+the rest of the library; self-loops and parallel edges are rejected,
+matching the cleaning conventions of :mod:`repro.graph.build`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+import numpy as np
+
+from repro.errors import GraphConstructionError, NodeNotFoundError, ParameterError
+from repro.graph.build import from_edge_arrays
+from repro.graph.digraph import DiGraph
+
+__all__ = ["DynamicGraph", "EdgeUpdate", "sample_edge_update"]
+
+#: Accepted spellings for the two update operations.
+_INSERT_OPS = frozenset({"+", "insert", "add"})
+_DELETE_OPS = frozenset({"-", "delete", "remove"})
+
+
+class EdgeUpdate(NamedTuple):
+    """One journalled mutation: ``op`` is ``"+"`` (insert) or ``"-"``.
+
+    ``old_out_degree`` is the out-degree of ``source`` *before* the
+    mutation — the degree the push invariant's residue correction must
+    be scaled by.
+    """
+
+    version: int
+    op: str
+    source: int
+    target: int
+    old_out_degree: int
+
+
+class DynamicGraph:
+    """A mutable directed graph: base CSR snapshot + delta overlay.
+
+    Parameters
+    ----------
+    base:
+        The immutable starting snapshot.  The node set is frozen at
+        ``base.num_nodes``.
+    name:
+        Human-readable name; defaults to the base graph's name.
+    """
+
+    __slots__ = (
+        "_base",
+        "_name",
+        "_version",
+        "_inserts",
+        "_deletes",
+        "_num_inserts",
+        "_num_deletes",
+        "_journal",
+        "_journal_floor",
+        "_snapshot_cache",
+    )
+
+    def __init__(self, base: DiGraph, *, name: str | None = None) -> None:
+        self._base = base
+        self._name = base.name if name is None else name
+        self._version = 0
+        #: per-source overlay sets; only touched sources get an entry
+        self._inserts: dict[int, set[int]] = {}
+        self._deletes: dict[int, set[int]] = {}
+        self._num_inserts = 0
+        self._num_deletes = 0
+        self._journal: list[EdgeUpdate] = []
+        self._journal_floor = 0
+        self._snapshot_cache: tuple[int, DiGraph] | None = None
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def base(self) -> DiGraph:
+        """The immutable snapshot the overlay is layered on."""
+        return self._base
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation counter (starts at 0)."""
+        return self._version
+
+    @property
+    def num_nodes(self) -> int:
+        return self._base.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count of the current logical graph."""
+        return self._base.num_edges - self._num_deletes + self._num_inserts
+
+    @property
+    def pending_updates(self) -> int:
+        """Overlay size: edges inserted or deleted since the last compact."""
+        return self._num_inserts + self._num_deletes
+
+    @property
+    def has_dead_ends(self) -> bool:
+        """True when some node of the current logical graph has no out-edges.
+
+        Base dead ends are checked against the overlay, and nodes whose
+        last out-edge was deleted are found by scanning the touched
+        sources — no snapshot materialisation needed.
+        """
+        for v in self._base.dead_ends.tolist():
+            if self.out_degree_of(v) == 0:
+                return True
+        for v in self._deletes:
+            if self.out_degree_of(v) == 0:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def out_degree_of(self, v: int) -> int:
+        """Out-degree of ``v`` in the current logical graph."""
+        self._check_node(v)
+        degree = int(self._base.out_degree[v])
+        degree -= len(self._deletes.get(v, ()))
+        degree += len(self._inserts.get(v, ()))
+        return degree
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Sorted out-neighbour ids of ``v`` in the current logical graph."""
+        self._check_node(v)
+        neighbors = self._base.out_neighbors(v)
+        deleted = self._deletes.get(v)
+        inserted = self._inserts.get(v)
+        if not deleted and not inserted:
+            return neighbors
+        merged = set(neighbors.tolist())
+        if deleted:
+            merged -= deleted
+        if inserted:
+            merged |= inserted
+        return np.array(sorted(merged), dtype=np.int32)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when the directed edge ``(u, v)`` currently exists."""
+        self._check_node(u)
+        self._check_node(v)
+        if v in self._inserts.get(u, ()):
+            return True
+        if v in self._deletes.get(u, ()):
+            return False
+        return self._base.has_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> int:
+        """Insert the directed edge ``(u, v)``; return the new version.
+
+        Raises :class:`~repro.errors.GraphConstructionError` when the
+        edge already exists, and :class:`~repro.errors.ParameterError`
+        for self-loops (the library's cleaning conventions exclude
+        them).
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise ParameterError(
+                f"self-loop ({u}, {v}) rejected: DynamicGraph keeps the "
+                "library's no-self-loop convention"
+            )
+        if self.has_edge(u, v):
+            raise GraphConstructionError(
+                f"edge ({u}, {v}) already exists (parallel edges are not "
+                "supported)"
+            )
+        old_degree = self.out_degree_of(u)
+        deleted = self._deletes.get(u)
+        if deleted and v in deleted:
+            deleted.discard(v)
+            if not deleted:
+                del self._deletes[u]
+            self._num_deletes -= 1
+        else:
+            self._inserts.setdefault(u, set()).add(v)
+            self._num_inserts += 1
+        return self._commit("+", u, v, old_degree)
+
+    def remove_edge(self, u: int, v: int) -> int:
+        """Delete the directed edge ``(u, v)``; return the new version.
+
+        Raises :class:`~repro.errors.GraphConstructionError` when the
+        edge does not exist.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if not self.has_edge(u, v):
+            raise GraphConstructionError(f"edge ({u}, {v}) does not exist")
+        old_degree = self.out_degree_of(u)
+        inserted = self._inserts.get(u)
+        if inserted and v in inserted:
+            inserted.discard(v)
+            if not inserted:
+                del self._inserts[u]
+            self._num_inserts -= 1
+        else:
+            self._deletes.setdefault(u, set()).add(v)
+            self._num_deletes += 1
+        return self._commit("-", u, v, old_degree)
+
+    def apply_updates(
+        self, updates: Iterable[tuple[str, int, int]]
+    ) -> int:
+        """Apply a batch of ``(op, u, v)`` updates; return the new version.
+
+        ``op`` accepts ``"+"``/``"insert"``/``"add"`` and
+        ``"-"``/``"delete"``/``"remove"``.  Updates apply in order and
+        the batch is *not* atomic: a bad update raises after the
+        preceding ones have been applied (each applied update already
+        has its own journal entry and version).
+        """
+        for op, u, v in updates:
+            key = str(op).strip().lower()
+            if key in _INSERT_OPS:
+                self.add_edge(int(u), int(v))
+            elif key in _DELETE_OPS:
+                self.remove_edge(int(u), int(v))
+            else:
+                raise ParameterError(
+                    f"unknown edge-update op {op!r}; expected one of "
+                    f"{sorted(_INSERT_OPS | _DELETE_OPS)}"
+                )
+        return self._version
+
+    # ------------------------------------------------------------------
+    # Journal
+    # ------------------------------------------------------------------
+    @property
+    def journal_floor(self) -> int:
+        """Highest version whose journal entries have been trimmed away.
+
+        :meth:`updates_since` can only replay from versions ``>=``
+        this floor; consumers that fell further behind must resync
+        from a snapshot instead.
+        """
+        return self._journal_floor
+
+    def updates_since(self, version: int) -> list[EdgeUpdate]:
+        """Journal entries with ``entry.version > version``, in order.
+
+        Versions advance by exactly 1 per mutation, so this is a slice;
+        a ``version`` ahead of the graph — or behind
+        :attr:`journal_floor` — raises
+        :class:`~repro.errors.ParameterError`.
+        """
+        if version < 0 or version > self._version:
+            raise ParameterError(
+                f"version {version} outside [0, {self._version}]"
+            )
+        if version < self._journal_floor:
+            raise ParameterError(
+                f"journal trimmed up to version {self._journal_floor}; "
+                f"cannot replay from version {version} — resync from a "
+                f"snapshot instead"
+            )
+        return self._journal[version - self._journal_floor:]
+
+    def trim_journal(self, version: int) -> int:
+        """Drop journal entries with ``entry.version <= version``.
+
+        Call once every journal consumer has replayed past ``version``
+        (versions ahead of the graph are clamped).  Returns the number
+        of entries dropped; the journal then holds only
+        ``(journal_floor, current version]``.  A consumer that fell
+        behind the floor cannot replay and must resync from a snapshot
+        (:class:`~repro.core.incremental.IncrementalPPR` does so
+        automatically, at from-scratch cost) — so the trimmer should
+        know every consumer, as :class:`~repro.api.engine.PPREngine`
+        does for its own trackers.
+        """
+        version = min(version, self._version)
+        dropped = max(0, version - self._journal_floor)
+        if dropped:
+            self._journal = self._journal[dropped:]
+            self._journal_floor = version
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> DiGraph:
+        """The current logical graph as an immutable CSR :class:`DiGraph`.
+
+        Cached per version; with an empty overlay the base snapshot is
+        returned as-is.
+        """
+        if self.pending_updates == 0:
+            return self._base
+        if (
+            self._snapshot_cache is not None
+            and self._snapshot_cache[0] == self._version
+        ):
+            return self._snapshot_cache[1]
+        sources, targets = self._base.edge_array()
+        if self._num_deletes:
+            n = self.num_nodes
+            keys = sources.astype(np.int64) * n + targets.astype(np.int64)
+            dropped = np.fromiter(
+                (u * n + v for u, vs in self._deletes.items() for v in vs),
+                dtype=np.int64,
+                count=self._num_deletes,
+            )
+            keep = ~np.isin(keys, dropped)
+            sources, targets = sources[keep], targets[keep]
+        if self._num_inserts:
+            extra_sources = np.fromiter(
+                (u for u, vs in self._inserts.items() for _ in vs),
+                dtype=np.int64,
+                count=self._num_inserts,
+            )
+            extra_targets = np.fromiter(
+                (v for vs in self._inserts.values() for v in vs),
+                dtype=np.int64,
+                count=self._num_inserts,
+            )
+            sources = np.concatenate([sources.astype(np.int64), extra_sources])
+            targets = np.concatenate([targets.astype(np.int64), extra_targets])
+        snap = from_edge_arrays(
+            sources,
+            targets,
+            num_nodes=self.num_nodes,
+            name=self._name,
+            dedup=False,
+            drop_self_loops=False,
+            undirected_origin=self._base.undirected_origin,
+        )
+        self._snapshot_cache = (self._version, snap)
+        return snap
+
+    def compact(self) -> DiGraph:
+        """Merge the overlay into a fresh base snapshot and return it.
+
+        The logical graph (and therefore ``version``) is unchanged —
+        compaction is purely a representation change that restores
+        CSR-speed reads and empties the delta buffers.
+        """
+        snap = self.snapshot()
+        self._base = snap
+        self._inserts.clear()
+        self._deletes.clear()
+        self._num_inserts = 0
+        self._num_deletes = 0
+        self._snapshot_cache = None
+        return snap
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _commit(self, op: str, u: int, v: int, old_degree: int) -> int:
+        self._version += 1
+        self._snapshot_cache = None
+        self._journal.append(EdgeUpdate(self._version, op, u, v, old_degree))
+        return self._version
+
+    def _check_node(self, v: int) -> None:
+        if not 0 <= v < self._base.num_nodes:
+            raise NodeNotFoundError(
+                f"node {v} is outside [0, {self._base.num_nodes}) for "
+                f"dynamic graph {self._name!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self._name!r}" if self._name else ""
+        return (
+            f"DynamicGraph(n={self.num_nodes}, m={self.num_edges}{label}, "
+            f"version={self._version}, pending={self.pending_updates})"
+        )
+
+
+def sample_edge_update(
+    graph: DynamicGraph,
+    rng: np.random.Generator,
+    *,
+    p_insert: float = 0.5,
+    max_tries: int = 256,
+) -> tuple[str, int, int]:
+    """Sample one valid random edge update for ``graph``'s current state.
+
+    The sampled stream is the canonical evolving-graph workload used by
+    the dynamic experiment, benchmark, and tests.  Two safety rules
+    keep the workload inside the incrementally-maintainable regime:
+    insertions start at nodes that already have out-edges, and
+    deletions never remove a node's last out-edge — so the graph stays
+    dead-end-free and every update admits the degree-scaled residue
+    correction.
+
+    The update is returned, *not* applied; feed it to
+    :meth:`DynamicGraph.apply_updates` (or
+    :meth:`~repro.api.engine.PPREngine.apply_updates`).
+    """
+    n = graph.num_nodes
+    if n < 3:
+        raise ParameterError("sampling updates needs at least 3 nodes")
+    for _ in range(max_tries):
+        u = int(rng.integers(0, n))
+        degree = graph.out_degree_of(u)
+        if rng.random() < p_insert:
+            if degree == 0 or degree >= n - 1:
+                continue
+            v = int(rng.integers(0, n))
+            if v == u or graph.has_edge(u, v):
+                continue
+            return ("+", u, v)
+        if degree >= 2:
+            neighbors = graph.out_neighbors(u)
+            v = int(neighbors[rng.integers(0, neighbors.shape[0])])
+            return ("-", u, v)
+    raise ParameterError(
+        f"could not sample a valid edge update in {max_tries} tries "
+        f"(graph may be too dense or too sparse)"
+    )

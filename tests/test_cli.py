@@ -31,6 +31,63 @@ class TestCommands:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "T1" in out and "dblp-s" in out
+        assert "DY" in out  # the dynamic-updates experiment is registered
+
+    def test_methods_prints_registry(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        from repro.api import solver_specs
+
+        for spec in solver_specs():
+            assert f"{spec.name} [{spec.kind}]" in out
+            for alias in spec.aliases:
+                assert alias in out
+        # capability flags and the engine-level incremental method
+        assert "walk-index" in out and "precomputation" in out
+        assert "incremental [engine]" in out
+
+    def test_query_incremental_method(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+        assert (
+            main(
+                [
+                    "query",
+                    "dblp-s",
+                    "--source",
+                    "1",
+                    "--method",
+                    "incremental",
+                    "--top",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "IncrementalPPR" in out and "#1" in out
+
+    def test_update_bench_smoke(self, capsys, tmp_path):
+        out_file = tmp_path / "dyn.txt"
+        code = main(
+            [
+                "update-bench",
+                "--scale",
+                "9",
+                "--edges",
+                "3000",
+                "--batches",
+                "1",
+                "--batch-size",
+                "10",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "incremental" in out and "ratio" in out
+        assert out_file.read_text().strip() in out
 
     def test_run_unknown_experiment_exits_2(self, capsys):
         assert main(["run", "F99"]) == 2

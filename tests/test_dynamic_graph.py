@@ -1,0 +1,204 @@
+"""DynamicGraph: delta overlay semantics, versioning, journal, compaction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    GraphConstructionError,
+    NodeNotFoundError,
+    ParameterError,
+)
+from repro.generators.rmat import rmat_digraph
+from repro.graph.build import from_edges
+from repro.graph.dynamic import DynamicGraph, EdgeUpdate, sample_edge_update
+
+
+@pytest.fixture
+def dyn(paper_graph):
+    return DynamicGraph(paper_graph)
+
+
+class TestOverlaySemantics:
+    def test_fresh_overlay_mirrors_base(self, dyn, paper_graph):
+        assert dyn.version == 0
+        assert dyn.num_nodes == paper_graph.num_nodes
+        assert dyn.num_edges == paper_graph.num_edges
+        assert dyn.pending_updates == 0
+        assert dyn.snapshot() is paper_graph
+        for v in range(paper_graph.num_nodes):
+            assert dyn.out_degree_of(v) == int(paper_graph.out_degree[v])
+            np.testing.assert_array_equal(
+                dyn.out_neighbors(v), paper_graph.out_neighbors(v)
+            )
+
+    def test_add_edge(self, dyn):
+        assert not dyn.has_edge(0, 4)
+        version = dyn.add_edge(0, 4)
+        assert version == dyn.version == 1
+        assert dyn.has_edge(0, 4)
+        assert dyn.out_degree_of(0) == 3
+        assert dyn.num_edges == 14
+        assert dyn.pending_updates == 1
+        np.testing.assert_array_equal(dyn.out_neighbors(0), [1, 2, 4])
+
+    def test_remove_edge(self, dyn):
+        dyn.remove_edge(1, 3)
+        assert not dyn.has_edge(1, 3)
+        assert dyn.out_degree_of(1) == 3
+        assert dyn.num_edges == 12
+        np.testing.assert_array_equal(dyn.out_neighbors(1), [0, 2, 4])
+
+    def test_reinsert_after_delete_cancels(self, dyn):
+        dyn.remove_edge(1, 3)
+        dyn.add_edge(1, 3)
+        assert dyn.has_edge(1, 3)
+        assert dyn.num_edges == 13
+        assert dyn.pending_updates == 0  # the overlay cancelled out
+        assert dyn.version == 2  # but history is monotone
+
+    def test_delete_freshly_inserted_edge(self, dyn):
+        dyn.add_edge(0, 4)
+        dyn.remove_edge(0, 4)
+        assert not dyn.has_edge(0, 4)
+        assert dyn.pending_updates == 0
+        assert dyn.num_edges == 13
+
+    def test_duplicate_insert_rejected(self, dyn):
+        with pytest.raises(GraphConstructionError):
+            dyn.add_edge(0, 1)
+
+    def test_missing_delete_rejected(self, dyn):
+        with pytest.raises(GraphConstructionError):
+            dyn.remove_edge(0, 4)
+
+    def test_self_loop_rejected(self, dyn):
+        with pytest.raises(ParameterError):
+            dyn.add_edge(2, 2)
+
+    def test_out_of_range_node_rejected(self, dyn):
+        with pytest.raises(NodeNotFoundError):
+            dyn.add_edge(0, 99)
+        with pytest.raises(NodeNotFoundError):
+            dyn.out_neighbors(5)
+
+    def test_apply_updates_batch_and_spellings(self, dyn):
+        version = dyn.apply_updates(
+            [("insert", 0, 4), ("-", 1, 3), ("add", 3, 4), ("remove", 3, 4)]
+        )
+        assert version == dyn.version == 4
+        assert dyn.has_edge(0, 4)
+        assert not dyn.has_edge(1, 3)
+        assert not dyn.has_edge(3, 4)
+
+    def test_apply_updates_unknown_op(self, dyn):
+        with pytest.raises(ParameterError, match="unknown edge-update op"):
+            dyn.apply_updates([("toggle", 0, 4)])
+
+    def test_dead_end_detection(self):
+        graph = from_edges([(0, 1), (1, 0), (1, 2), (2, 0)])
+        dyn = DynamicGraph(graph)
+        assert not dyn.has_dead_ends
+        dyn.remove_edge(2, 0)
+        assert dyn.has_dead_ends
+        dyn.add_edge(2, 1)
+        assert not dyn.has_dead_ends
+
+
+class TestJournal:
+    def test_journal_records_old_degree(self, dyn):
+        dyn.add_edge(0, 4)       # degree of 0 was 2
+        dyn.remove_edge(0, 1)    # degree of 0 was 3
+        updates = dyn.updates_since(0)
+        assert updates == [
+            EdgeUpdate(1, "+", 0, 4, 2),
+            EdgeUpdate(2, "-", 0, 1, 3),
+        ]
+        assert dyn.updates_since(1) == [EdgeUpdate(2, "-", 0, 1, 3)]
+        assert dyn.updates_since(2) == []
+
+    def test_updates_since_bad_version(self, dyn):
+        with pytest.raises(ParameterError):
+            dyn.updates_since(5)
+        with pytest.raises(ParameterError):
+            dyn.updates_since(-1)
+
+    def test_journal_survives_compaction(self, dyn):
+        dyn.add_edge(0, 4)
+        dyn.compact()
+        assert dyn.updates_since(0) == [EdgeUpdate(1, "+", 0, 4, 2)]
+
+    def test_trim_journal(self, dyn):
+        dyn.add_edge(0, 4)
+        dyn.remove_edge(0, 1)
+        dyn.add_edge(2, 0)
+        assert dyn.trim_journal(2) == 2
+        assert dyn.journal_floor == 2
+        assert dyn.updates_since(2) == [EdgeUpdate(3, "+", 2, 0, 2)]
+        with pytest.raises(ParameterError, match="trimmed"):
+            dyn.updates_since(1)
+        # Idempotent, and versions ahead of the graph are clamped.
+        assert dyn.trim_journal(2) == 0
+        assert dyn.trim_journal(99) == 1
+        assert dyn.journal_floor == 3
+        assert dyn.updates_since(3) == []
+
+
+class TestSnapshotAndCompact:
+    def test_snapshot_matches_rebuilt_graph(self, dyn, paper_graph):
+        dyn.apply_updates([("+", 0, 4), ("-", 1, 3), ("+", 2, 0)])
+        expected_edges = [
+            (u, int(v))
+            for u in range(paper_graph.num_nodes)
+            for v in dyn.out_neighbors(u)
+        ]
+        expected = from_edges(
+            expected_edges, num_nodes=paper_graph.num_nodes
+        )
+        snap = dyn.snapshot()
+        assert snap == expected
+        assert snap.num_edges == dyn.num_edges
+
+    def test_snapshot_cached_per_version(self, dyn):
+        dyn.add_edge(0, 4)
+        first = dyn.snapshot()
+        assert dyn.snapshot() is first
+        dyn.add_edge(2, 0)
+        assert dyn.snapshot() is not first
+
+    def test_compact_preserves_logical_graph(self, dyn):
+        dyn.apply_updates([("+", 0, 4), ("-", 1, 3)])
+        version = dyn.version
+        snap_before = dyn.snapshot()
+        compacted = dyn.compact()
+        assert compacted == snap_before
+        assert dyn.base is compacted
+        assert dyn.pending_updates == 0
+        assert dyn.version == version  # compaction is representational
+        assert dyn.num_edges == compacted.num_edges
+
+    def test_mutations_resume_after_compact(self, dyn):
+        dyn.add_edge(0, 4)
+        dyn.compact()
+        dyn.remove_edge(0, 4)
+        assert not dyn.has_edge(0, 4)
+        assert dyn.version == 2
+
+
+class TestSampleEdgeUpdate:
+    def test_sampled_updates_always_apply(self):
+        rng = np.random.default_rng(5)
+        graph = rmat_digraph(8, 1200, rng=rng, name="sample-test")
+        dyn = DynamicGraph(graph)
+        for _ in range(300):
+            op, u, v = sample_edge_update(dyn, rng)
+            assert op in ("+", "-")
+            dyn.apply_updates([(op, u, v)])
+        assert dyn.version == 300
+        # The sampling rules keep the evolving graph dead-end-free.
+        assert not dyn.has_dead_ends
+        assert not dyn.snapshot().has_dead_ends
+
+    def test_tiny_graph_rejected(self):
+        dyn = DynamicGraph(from_edges([(0, 1), (1, 0)]))
+        with pytest.raises(ParameterError):
+            sample_edge_update(dyn, np.random.default_rng(0))

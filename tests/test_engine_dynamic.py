@@ -1,0 +1,192 @@
+"""PPREngine on evolving graphs: versioned caches, repair, invalidation.
+
+The hard guarantee under test: across a graph-version change every
+cached artefact is either invalidated or repaired — no query is ever
+answered from an index built for a previous version of the graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.engine import PPREngine
+from repro.errors import ParameterError
+from repro.generators.rmat import rmat_digraph
+from repro.graph.dynamic import DynamicGraph, sample_edge_update
+
+
+@pytest.fixture
+def dyn():
+    rng = np.random.default_rng(17)
+    return DynamicGraph(rmat_digraph(9, 3000, rng=rng, name="engine-dyn"))
+
+
+@pytest.fixture
+def engine(dyn):
+    return PPREngine(dyn, alpha=0.2, seed=7)
+
+
+def mutate(engine, count=1, seed=0):
+    rng = np.random.default_rng(1234 + seed)
+    for _ in range(count):
+        engine.apply_updates(
+            [sample_edge_update(engine.dynamic_graph, rng)]
+        )
+
+
+class TestVersionedGraph:
+    def test_graph_property_tracks_updates(self, engine, dyn):
+        before = engine.graph
+        assert engine.graph_version == 0
+        mutate(engine)
+        assert engine.graph_version == dyn.version == 1
+        after = engine.graph
+        assert after is not before
+        assert after.num_edges == dyn.num_edges
+
+    def test_static_engine_rejects_updates(self, paper_graph):
+        engine = PPREngine(paper_graph)
+        assert engine.dynamic_graph is None
+        assert engine.graph_version == 0
+        with pytest.raises(ParameterError, match="DynamicGraph"):
+            engine.apply_updates([("+", 0, 4)])
+        with pytest.raises(ParameterError, match="DynamicGraph"):
+            engine.track(0)
+
+
+class TestCacheInvalidation:
+    def test_walk_index_invalidated(self, engine):
+        first = engine.walk_index()
+        assert engine.walk_index() is first  # cached while version holds
+        mutate(engine)
+        second = engine.walk_index()
+        assert second is not first
+        assert engine.index_builds["walk"] == 2
+        assert engine.index_invalidations["walk"] == 1
+        second.check_graph(engine.graph)  # serves the *current* graph
+
+    def test_bepi_index_invalidated(self, engine):
+        engine.query(0, method="bepi")
+        assert engine.index_builds["bepi"] == 1
+        mutate(engine)
+        engine.query(0, method="bepi")
+        assert engine.index_builds["bepi"] == 2
+        assert engine.index_invalidations["bepi"] == 1
+
+    def test_fora_indexes_invalidated(self, engine):
+        engine.fora_index(0.5)
+        engine.fora_index(0.1)
+        assert engine.index_builds["fora"] == 2
+        mutate(engine)
+        engine.fora_index(0.5)
+        assert engine.index_invalidations["fora"] == 2
+        assert engine.index_builds["fora"] == 3
+
+    def test_queries_after_update_match_fresh_engine(self, engine, dyn):
+        """The invalidate-and-rebuild path must be indistinguishable
+        from a cold engine on the compacted graph."""
+        engine.query(1, method="speedppr", epsilon=0.3, seed=5)
+        mutate(engine, count=10)
+        served = engine.query(1, method="speedppr", epsilon=0.3, seed=5)
+
+        fresh = PPREngine(dyn.snapshot(), alpha=0.2, seed=7)
+        expected = fresh.query(1, method="speedppr", epsilon=0.3, seed=5)
+        np.testing.assert_array_equal(served.estimate, expected.estimate)
+
+    def test_exact_query_runs_on_current_snapshot(self, engine, dyn):
+        before = engine.query(2, method="powerpush", l1_threshold=1e-8)
+        mutate(engine, count=20, seed=9)
+        after = engine.query(2, method="powerpush", l1_threshold=1e-8)
+        fresh = PPREngine(dyn.snapshot(), alpha=0.2, seed=7)
+        expected = fresh.query(2, method="powerpush", l1_threshold=1e-8)
+        np.testing.assert_array_equal(after.estimate, expected.estimate)
+        assert float(np.abs(after.estimate - before.estimate).sum()) > 0
+
+
+class TestTrackedSources:
+    def test_track_and_incremental_query(self, engine):
+        tracker = engine.track(4, l1_threshold=1e-8)
+        assert engine.tracked_sources == (4,)
+        assert engine.track(4) is tracker  # idempotent
+        result = engine.query(4, method="incremental")
+        assert result.method == "IncrementalPPR"
+        assert result.source == 4
+        assert tracker.error_bound <= 1e-8
+
+    def test_incremental_repairs_after_updates(self, engine, dyn):
+        engine.track(4, l1_threshold=1e-8)
+        mutate(engine, count=25, seed=3)
+        repaired = engine.query(4, method="incremental")
+        fresh = PPREngine(dyn.snapshot(), alpha=0.2, seed=7)
+        scratch = fresh.query(4, method="powerpush", l1_threshold=1e-8)
+        gap = float(np.abs(repaired.estimate - scratch.estimate).sum())
+        assert gap <= 2e-8 + 1e-14
+        assert repaired.counters.extras.get("residue_corrections") == 25
+
+    def test_incremental_auto_tracks(self, engine):
+        result = engine.query(6, method="incremental", l1_threshold=1e-7)
+        assert engine.tracked_sources == (6,)
+        assert result.source == 6
+        # alias spelling resolves to the same engine-level method
+        again = engine.query(6, method="tracked")
+        assert again.counters.residue_updates == 0  # nothing pending
+
+    def test_incremental_rejects_threshold_change(self, engine):
+        engine.query(6, method="incremental", l1_threshold=1e-7)
+        with pytest.raises(ParameterError, match="re-track"):
+            engine.query(6, method="incremental", l1_threshold=1e-9)
+
+    def test_track_rejects_conflicting_threshold(self, engine):
+        engine.track(6, l1_threshold=1e-7)
+        with pytest.raises(ParameterError, match="untrack"):
+            engine.track(6, l1_threshold=1e-9)
+
+    def test_untrack_allows_retracking_at_new_contract(self, engine):
+        engine.track(6, l1_threshold=1e-7)
+        engine.untrack(6)
+        assert engine.tracked_sources == ()
+        tracker = engine.track(6, l1_threshold=1e-9)
+        assert tracker.l1_threshold == 1e-9
+        engine.untrack(99)  # unknown source is a no-op
+
+    def test_incremental_rejects_unknown_params(self, engine):
+        with pytest.raises(ParameterError, match="does not accept"):
+            engine.query(6, method="incremental", epsilon=0.5)
+
+    def test_incremental_recorded_in_stats(self, engine):
+        engine.query(4, method="incremental")
+        assert "IncrementalPPR" in engine.stats.by_method
+        assert engine.stats.queries == 1
+
+    def test_batch_query_supports_incremental(self, engine):
+        results = engine.batch_query([2, 4], method="incremental")
+        assert [r.source for r in results] == [2, 4]
+        assert all(r.method == "IncrementalPPR" for r in results)
+        assert engine.tracked_sources == (2, 4)
+
+    def test_top_k_supports_incremental(self, engine):
+        mutated = engine.track(4)
+        mutate(engine, count=5)
+        top = engine.top_k(4, 3, method="incremental")
+        assert len(top.ranking) == 3
+        assert top.result.method == "IncrementalPPR"
+        assert not mutated.stale
+        # The tracked source itself dominates its own PPR by far more
+        # than the certified bound, so the set certifies.
+        assert top.certified
+
+    def test_journal_trimmed_behind_trackers(self, engine, dyn):
+        engine.track(4)
+        mutate(engine, count=10)
+        assert len(dyn.updates_since(0)) == 10
+        engine.query(4, method="incremental")
+        assert dyn.journal_floor == dyn.version  # prefix reclaimed
+        assert dyn.updates_since(dyn.version) == []
+
+    def test_journal_trimmed_eagerly_without_trackers(self, engine, dyn):
+        mutate(engine, count=5)
+        assert dyn.journal_floor == dyn.version
+        # A tracker created afterwards never needed those entries.
+        engine.track(4)
+        mutate(engine, count=3)
+        result = engine.query(4, method="incremental")
+        assert result.counters.extras.get("residue_corrections") == 3

@@ -167,6 +167,7 @@ class TestRunnerRegistry:
             "F8",
             "A1",
             "A2",
+            "DY",
         ]
 
     def test_dispatch_case_insensitive(self, tiny_workspace):
