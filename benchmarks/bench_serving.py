@@ -1,0 +1,156 @@
+"""Benchmark SV — the concurrent serving layer vs serial queries.
+
+A Zipfian read-heavy workload replays twice over the same R-MAT graph:
+once through :class:`~repro.serving.server.EngineServer` (micro-batch
+scheduler + versioned result cache, a closed-loop worker pool) and
+once through a bare engine answering one query at a time.  The claims
+under test:
+
+* batched/cached throughput is at least ``MIN_SPEEDUP`` x serial,
+* every served answer is byte-identical to the serial baseline's,
+* the metrics land in ``results/BENCH_serving.json`` — throughput,
+  p50/p99 latency, cache hit rate, batching factor — the first entries
+  of the serving bench trajectory.
+
+Also runnable as a script (CI exercises this on every push)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.generators.rmat import rmat_digraph
+from repro.serving import WorkloadGenerator, run_loadtest
+
+#: The scheduler+cache must beat one-query-at-a-time by at least this.
+MIN_SPEEDUP = 2.0
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+DEFAULT_JSON = RESULTS_DIR / "BENCH_serving.json"
+
+
+def run_serving_bench(
+    *,
+    scale: int = 10,
+    edges: int = 8_000,
+    requests: int = 400,
+    sources: int = 48,
+    zipf: float = 1.2,
+    concurrency: int = 8,
+    window: float = 0.002,
+    seed: int = 2021,
+):
+    """One measured loadtest run; returns the LoadtestReport."""
+
+    # Read-only workload: both runs can share one immutable graph.
+    base = rmat_digraph(
+        scale, edges, rng=np.random.default_rng(seed), name="serving-rmat"
+    )
+
+    def make_graph():
+        return base
+
+    workload = WorkloadGenerator(
+        base.num_nodes,
+        num_sources=sources,
+        zipf_exponent=zipf,
+        read_fraction=1.0,  # the read-heavy contract the cache serves
+        seed=seed,
+    ).generate(requests)
+    return run_loadtest(
+        make_graph,
+        workload,
+        method="powerpush",
+        params={"l1_threshold": 1e-7},
+        seed=seed,
+        concurrency=concurrency,
+        window=window,
+    )
+
+
+def test_serving_speedup_and_equivalence(benchmark, write_report):
+    report = benchmark.pedantic(run_serving_bench, rounds=1, iterations=1)
+    write_report("serving", report.render())
+    report.write_json(DEFAULT_JSON)
+
+    assert report.identical is True, (
+        "served answers diverged from the serial baseline"
+    )
+    assert report.cache_hit_rate > 0.0, "Zipfian workload never hit cache"
+    assert report.batching_factor >= 1.0
+    assert report.speedup >= MIN_SPEEDUP, (
+        f"serving layer at {report.speedup:.2f}x serial "
+        f"(expected >= {MIN_SPEEDUP}x)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Script entry point; ``--smoke`` runs a seconds-scale CI check."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small deterministic run asserting the serving win",
+    )
+    # Default to None so --smoke only shrinks sizes the user left unset.
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--edges", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--sources", type=int, default=None)
+    parser.add_argument("--zipf", type=float, default=1.2)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_JSON,
+        help=f"metrics JSON path (default {DEFAULT_JSON})",
+    )
+    args = parser.parse_args(argv)
+
+    defaults = (9, 4_000, 240, 32) if args.smoke else (10, 8_000, 400, 48)
+    scale, edges, requests, sources = (
+        given if given is not None else fallback
+        for given, fallback in zip(
+            (args.scale, args.edges, args.requests, args.sources), defaults
+        )
+    )
+
+    report = run_serving_bench(
+        scale=scale,
+        edges=edges,
+        requests=requests,
+        sources=sources,
+        zipf=args.zipf,
+        concurrency=args.concurrency,
+        seed=args.seed,
+    )
+    print(report.render())
+    path = report.write_json(args.out)
+    print(f"metrics written to {path}")
+
+    if report.identical is not True:
+        print("FAIL: served answers diverged from the serial baseline")
+        return 1
+    if report.speedup < MIN_SPEEDUP:
+        print(
+            f"FAIL: speedup {report.speedup:.2f}x below {MIN_SPEEDUP}x"
+        )
+        return 1
+    print(
+        f"OK: serving layer at {report.speedup:.2f}x serial throughput, "
+        f"byte-identical answers, cache hit rate "
+        f"{report.cache_hit_rate:.1%}, batching factor "
+        f"{report.batching_factor:.2f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

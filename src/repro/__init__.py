@@ -106,6 +106,14 @@ from repro.metrics import (
     precision_at_k,
 )
 from repro.montecarlo import chernoff_walk_count, monte_carlo_ppr
+from repro.serving import (
+    EngineServer,
+    QueryScheduler,
+    ResultCache,
+    ServedResult,
+    WorkloadGenerator,
+    run_loadtest,
+)
 from repro.walks import (
     WalkIndex,
     build_walk_index,
@@ -125,6 +133,13 @@ __all__ = [
     "solver_names",
     "canonical_method_name",
     "UnknownMethodError",
+    # serving layer
+    "EngineServer",
+    "QueryScheduler",
+    "ResultCache",
+    "ServedResult",
+    "WorkloadGenerator",
+    "run_loadtest",
     # graph
     "DiGraph",
     "DynamicGraph",

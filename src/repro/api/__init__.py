@@ -14,7 +14,12 @@ The CLI, the experiment harness and the examples all dispatch through
 this package; user code should too.
 """
 
-from repro.api.engine import EngineStats, MethodStats, PPREngine
+from repro.api.engine import (
+    EngineStats,
+    MethodStats,
+    PPREngine,
+    per_source_rng,
+)
 from repro.api.registry import (
     ParamSpec,
     SolverSpec,
@@ -34,6 +39,7 @@ __all__ = [
     "PPREngine",
     "EngineStats",
     "MethodStats",
+    "per_source_rng",
     "ParamSpec",
     "SolverSpec",
     "register_solver",

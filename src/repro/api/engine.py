@@ -40,16 +40,34 @@ indexes (via :mod:`repro.walks.storage`) together with a manifest
 recording the graph's shape and version; loading refuses stale or
 mismatched artefacts, so a restarted server either skips preprocessing
 safely or rebuilds.
+
+Thread safety
+-------------
+Concurrent *queries* against one engine are safe: an internal re-entrant
+lock serialises every mutation of engine state (cache invalidation,
+stats, the query counter) while the solver bodies — pure functions of
+the graph snapshot and the injected artefacts — run outside it, and
+lazy index builds are double-checked so even a multi-second
+construction never blocks queries of other methods: readers genuinely
+overlap.  The exception is ``method="incremental"``, whose tracker
+repair mutates shared state and therefore holds the lock for the whole
+refresh — incremental refreshes serialise against everything.  Mixing
+queries with ``apply_updates`` from different threads additionally
+needs the *graph* transition serialised against in-flight reads; use
+:class:`repro.serving.EngineServer`, which wraps the engine in a
+readers-writer lock (plus a versioned result cache and a micro-batching
+scheduler), instead of hand-rolling that.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -58,6 +76,7 @@ from repro.api.registry import (
     _normalize,
     build_fora_index,
     build_speedppr_index,
+    per_source_rng,
     resolve_method,
 )
 from repro.bepi.blockelim import BePIIndex, build_bepi_index
@@ -85,6 +104,8 @@ __all__ = [
     "INCREMENTAL_METHOD_NAMES",
     "INCREMENTAL_METHOD_PARAMS",
     "is_incremental_method",
+    "validate_incremental_params",
+    "per_source_rng",
 ]
 
 #: Accepted spellings of the engine-level incremental method (not in
@@ -113,6 +134,23 @@ def is_incremental_method(name: str) -> bool:
     recognised here too.
     """
     return _normalize(name) in _INCREMENTAL_NAMES
+
+
+def validate_incremental_params(params: Mapping[str, Any]) -> None:
+    """Reject parameters outside :data:`INCREMENTAL_METHOD_PARAMS`.
+
+    The single validation point for the engine-level incremental
+    method — the engine's query path and the serving layer's submit
+    path both call it, so the accepted set (and the error message)
+    cannot drift apart.
+    """
+    unknown = sorted(set(params) - set(INCREMENTAL_METHOD_PARAMS))
+    if unknown:
+        raise ParameterError(
+            f"method 'incremental' does not accept parameter(s) "
+            f"{', '.join(unknown)}; accepted: "
+            f"{', '.join(sorted(INCREMENTAL_METHOD_PARAMS))}"
+        )
 
 #: File name of the index-persistence manifest written by save_indexes.
 _MANIFEST_NAME = "manifest.json"
@@ -247,13 +285,24 @@ class PPREngine:
         self._trackers: dict[int, IncrementalPPR] = {}
         self.stats = EngineStats()
         self._query_counter = 0
+        #: serialises every mutation of engine state (index caches,
+        #: trackers, stats, counter) so concurrent queries are safe;
+        #: re-entrant because index accessors nest under query().
+        self._lock = threading.RLock()
 
     # -- graph versioning ----------------------------------------------
     @property
     def graph(self) -> DiGraph:
-        """The current immutable snapshot all queries run against."""
+        """The current immutable snapshot all queries run against.
+
+        Locked: materialising a :class:`DynamicGraph` snapshot reads
+        the overlay buffers that ``apply_updates`` mutates, so an
+        unlocked read racing a writer could tear — the engine lock
+        serialises the two (``apply_updates`` holds it too).
+        """
         if self._dynamic is not None:
-            return self._dynamic.snapshot()
+            with self._lock:
+                return self._dynamic.snapshot()
         assert self._static_graph is not None
         return self._static_graph
 
@@ -287,12 +336,13 @@ class PPREngine:
                 "engine serves an immutable DiGraph; construct it with a "
                 "repro.graph.DynamicGraph to apply updates"
             )
-        version = self._dynamic.apply_updates(updates)
-        if not self._trackers:
-            # No tracker will ever replay these entries (a future
-            # track() starts from the then-current version).
-            self._dynamic.trim_journal(version)
-        return version
+        with self._lock:
+            version = self._dynamic.apply_updates(updates)
+            if not self._trackers:
+                # No tracker will ever replay these entries (a future
+                # track() starts from the then-current version).
+                self._dynamic.trim_journal(version)
+            return version
 
     def track(
         self, source: int, *, l1_threshold: float = 1e-8
@@ -312,27 +362,29 @@ class PPREngine:
                 "with a repro.graph.DynamicGraph"
             )
         source = int(source)
-        tracker = self._trackers.get(source)
-        if tracker is not None:
-            if l1_threshold != tracker.l1_threshold:
-                raise ParameterError(
-                    f"source {source} is already tracked at "
-                    f"l1_threshold={tracker.l1_threshold}; untrack() it "
-                    f"to change the contract"
-                )
+        with self._lock:
+            tracker = self._trackers.get(source)
+            if tracker is not None:
+                if l1_threshold != tracker.l1_threshold:
+                    raise ParameterError(
+                        f"source {source} is already tracked at "
+                        f"l1_threshold={tracker.l1_threshold}; untrack() it "
+                        f"to change the contract"
+                    )
+                return tracker
+            tracker = IncrementalPPR(
+                self._dynamic,
+                source,
+                alpha=self.alpha,
+                l1_threshold=l1_threshold,
+            )
+            self._trackers[source] = tracker
             return tracker
-        tracker = IncrementalPPR(
-            self._dynamic,
-            source,
-            alpha=self.alpha,
-            l1_threshold=l1_threshold,
-        )
-        self._trackers[source] = tracker
-        return tracker
 
     def untrack(self, source: int) -> None:
         """Stop maintaining ``source``; no-op when it was not tracked."""
-        self._trackers.pop(int(source), None)
+        with self._lock:
+            self._trackers.pop(int(source), None)
 
     @property
     def tracked_sources(self) -> tuple[int, ...]:
@@ -367,24 +419,57 @@ class PPREngine:
         return np.random.default_rng(self.seed * 1_000_003 + salt)
 
     def walk_index(self) -> WalkIndex:
-        """SpeedPPR's eps-independent walk index (built once, cached)."""
-        self._sync_caches()
-        if self._walk_index is None:
-            self._walk_index = build_speedppr_index(
-                self.graph, alpha=self.alpha, rng=self.rng(_WALK_INDEX_SALT)
+        """SpeedPPR's eps-independent walk index (built once, cached).
+
+        The build itself runs *outside* the engine lock (double-checked
+        on re-entry), so a multi-second index construction never stalls
+        concurrent queries of other methods.  Duplicate concurrent
+        builds are harmless: both consume the same deterministic stream
+        (``rng(_WALK_INDEX_SALT)``), so whichever lands is identical.
+        """
+        while True:
+            with self._lock:
+                self._sync_caches()
+                if self._walk_index is not None:
+                    return self._walk_index
+                version = self.graph_version
+                graph = self.graph
+            built = build_speedppr_index(
+                graph, alpha=self.alpha, rng=self.rng(_WALK_INDEX_SALT)
             )
-            self._artefact_versions["walk"] = self.graph_version
-            self.index_builds["walk"] += 1
-        return self._walk_index
+            with self._lock:
+                self._sync_caches()
+                if self.graph_version != version:
+                    continue  # graph moved mid-build; rebuild fresh
+                if self._walk_index is None:
+                    self._walk_index = built
+                    self._artefact_versions["walk"] = version
+                    self.index_builds["walk"] += 1
+                return self._walk_index
 
     def bepi_index(self) -> BePIIndex:
-        """BePI's block-elimination preprocessing (built once, cached)."""
-        self._sync_caches()
-        if self._bepi_index is None:
-            self._bepi_index = build_bepi_index(self.graph, alpha=self.alpha)
-            self._artefact_versions["bepi"] = self.graph_version
-            self.index_builds["bepi"] += 1
-        return self._bepi_index
+        """BePI's block-elimination preprocessing (built once, cached).
+
+        Built outside the engine lock like :meth:`walk_index` (the
+        factorisation is the single most expensive artefact).
+        """
+        while True:
+            with self._lock:
+                self._sync_caches()
+                if self._bepi_index is not None:
+                    return self._bepi_index
+                version = self.graph_version
+                graph = self.graph
+            built = build_bepi_index(graph, alpha=self.alpha)
+            with self._lock:
+                self._sync_caches()
+                if self.graph_version != version:
+                    continue
+                if self._bepi_index is None:
+                    self._bepi_index = built
+                    self._artefact_versions["bepi"] = version
+                    self.index_builds["bepi"] += 1
+                return self._bepi_index
 
     def fora_index(
         self,
@@ -411,30 +496,51 @@ class PPREngine:
         of *this* contract's index, not a larger one that happens to
         serve it.
         """
-        self._sync_caches()
+        # The node count is fixed for an engine's lifetime, so the
+        # contract arithmetic needs no lock.
         if mu is None:
             mu = default_mu(self.graph.num_nodes)
         if p_fail is None:
             p_fail = default_failure_probability(self.graph.num_nodes)
         needed_w = chernoff_walk_count(epsilon, mu, p_fail=p_fail)
-        best: tuple[int, WalkIndex] | None = None
-        for built_w, index, _version in self._fora_indexes:
-            sufficient = built_w == needed_w if exact else built_w >= needed_w
-            if sufficient and (best is None or built_w < best[0]):
-                best = (built_w, index)
-        if best is not None:
-            return best[1]
-        index = build_fora_index(
-            self.graph,
-            epsilon,
-            alpha=self.alpha,
-            mu=mu,
-            p_fail=p_fail,
-            rng=self.rng(_FORA_INDEX_SALT),
-        )
-        self._fora_indexes.append((needed_w, index, self.graph_version))
-        self.index_builds["fora"] += 1
-        return index
+
+        def _scan() -> WalkIndex | None:
+            best: tuple[int, WalkIndex] | None = None
+            for built_w, index, _version in self._fora_indexes:
+                sufficient = (
+                    built_w == needed_w if exact else built_w >= needed_w
+                )
+                if sufficient and (best is None or built_w < best[0]):
+                    best = (built_w, index)
+            return None if best is None else best[1]
+
+        # Build outside the lock, double-checked, like walk_index().
+        while True:
+            with self._lock:
+                self._sync_caches()
+                cached = _scan()
+                if cached is not None:
+                    return cached
+                version = self.graph_version
+                graph = self.graph
+            index = build_fora_index(
+                graph,
+                epsilon,
+                alpha=self.alpha,
+                mu=mu,
+                p_fail=p_fail,
+                rng=self.rng(_FORA_INDEX_SALT),
+            )
+            with self._lock:
+                self._sync_caches()
+                if self.graph_version != version:
+                    continue
+                concurrent = _scan()
+                if concurrent is not None:
+                    return concurrent  # identical stream, identical index
+                self._fora_indexes.append((needed_w, index, version))
+                self.index_builds["fora"] += 1
+                return index
 
     # -- query front door ----------------------------------------------
     def query(
@@ -445,9 +551,12 @@ class PPREngine:
         Accepts any registered method name or alias plus that method's
         unified parameters.  Engine-level extras:
 
-        * ``seed=<int>`` pins the stochastic phase (otherwise a fresh
-          deterministic stream per query is derived from the engine
-          seed);
+        * ``seed=<int>`` pins the stochastic phase to the stream
+          :func:`per_source_rng` derives from ``(seed, source)`` — the
+          same derivation seeded batches and the serving layer use, so
+          ``query(s, m, seed=S)`` is byte-identical to the ``s`` member
+          of any seeded batch (otherwise a fresh deterministic stream
+          per query is derived from the engine seed);
         * ``use_index=False`` forces index-capable methods to run
           index-free; methods flagged ``index_by_default`` (SpeedPPR)
           are served from the cached walk index automatically.
@@ -459,16 +568,23 @@ class PPREngine:
         """
         if is_incremental_method(method):
             return self._query_incremental(source, params)
-        self._sync_caches()
         spec, merged = resolve_method(method)
         merged.update(params)
         # Fail on typo'd names before _prepare builds (and caches) any
         # expensive index on their behalf.
         spec.validate_params(merged)
-        self._query_counter += 1
-        self._prepare(spec, merged)
+        # Only the counter bump and cache sync hold the lock; parameter
+        # preparation (which may trigger a lazy index build — itself
+        # double-checked, built unlocked) and the solve run outside it,
+        # so concurrent readers genuinely overlap.
+        with self._lock:
+            self._sync_caches()
+            self._query_counter += 1
+            counter = self._query_counter
+        self._prepare(spec, merged, counter, source)
         result = spec.solve(self.graph, source, params=merged)
-        self.stats.record(result)
+        with self._lock:
+            self.stats.record(result)
         return result
 
     def batch_query(
@@ -484,6 +600,19 @@ class PPREngine:
         shared; plain Monte-Carlo runs all sources' walks through one
         vectorised multi-source simulation when the graph allows it,
         and every other method loops.
+
+        A single ``seed`` must not replay the same walk stream for
+        every source, so seeded batches give each source the stream
+        :func:`per_source_rng` derives from ``(seed, source)`` — the
+        same derivation ``query`` applies to an explicit seed.  Keying
+        on the source *id* (not the batch position) makes seeded batch
+        answers a pure function of ``(seed, source)``: permuting the
+        batch, splitting it, or answering a member sequentially via
+        ``query(s, method, seed=seed)`` all produce byte-identical
+        estimates — the contract the serving layer's request coalescing
+        relies on.  (Corollary: the same source listed twice in one
+        seeded batch gets the same answer twice; vary the seed for
+        independent samples.)
         """
         sources = [int(s) for s in sources]
         if is_incremental_method(method):
@@ -500,21 +629,9 @@ class PPREngine:
             and len(sources) > 1
         ):
             return self._batch_monte_carlo(sources, merged)
-        # A single seed must not replay the same walk stream for every
-        # source: spawn one independent child stream per query.
-        child_rngs: list[np.random.Generator] | None = None
-        if spec.needs_rng and merged.get("rng") is None and "seed" in merged:
-            seed = merged.pop("seed")
-            if seed is not None:
-                children = np.random.SeedSequence(seed).spawn(len(sources))
-                child_rngs = [np.random.default_rng(c) for c in children]
-        results = []
-        for position, source in enumerate(sources):
-            params_i = dict(merged)
-            if child_rngs is not None:
-                params_i["rng"] = child_rngs[position]
-            results.append(self.query(source, method, **params_i))
-        return results
+        # query() itself resolves an explicit seed through
+        # per_source_rng, so looping preserves the per-source streams.
+        return [self.query(source, method, **merged) for source in sources]
 
     def top_k(
         self,
@@ -537,8 +654,9 @@ class PPREngine:
             params.setdefault("alpha", self.alpha)
             params.setdefault("dead_end_policy", self.dead_end_policy)
             answer = top_k_ppr(self.graph, source, k, **params)
-            self._query_counter += 1
-            self.stats.record(answer.result)
+            with self._lock:
+                self._query_counter += 1
+                self.stats.record(answer.result)
             return answer
         if is_incremental_method(method):
             # A repaired pair's estimate is within sum(|r|) of pi in
@@ -596,15 +714,22 @@ class PPREngine:
         scipy solver objects and is rebuilt lazily instead of
         persisted.
         """
-        self._sync_caches()
+        # Snapshot the (immutable once built) index references under
+        # the lock; the multi-MB disk writes happen outside it so
+        # concurrent queries never stall on a checkpoint.
+        with self._lock:
+            self._sync_caches()
+            walk_index = self._walk_index
+            fora_indexes = list(self._fora_indexes)
+            graph = self.graph
+            version = self.graph_version
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        graph = self.graph
         indexes: list[dict[str, Any]] = []
-        if self._walk_index is not None:
-            save_walk_index(self._walk_index, directory / "walk.npz")
+        if walk_index is not None:
+            save_walk_index(walk_index, directory / "walk.npz")
             indexes.append({"kind": "walk", "file": "walk.npz"})
-        for built_w, index, _version in self._fora_indexes:
+        for built_w, index, _version in fora_indexes:
             file_name = f"fora_w{built_w}.npz"
             save_walk_index(index, directory / file_name)
             indexes.append(
@@ -618,7 +743,7 @@ class PPREngine:
                 "num_nodes": graph.num_nodes,
                 "num_edges": graph.num_edges,
                 # Informational; staleness is judged by the fingerprint.
-                "version": self.graph_version,
+                "version": version,
                 "fingerprint": _graph_fingerprint(graph),
             },
             "indexes": indexes,
@@ -657,83 +782,96 @@ class PPREngine:
                 f"indexes saved at alpha={manifest['alpha']}, engine runs "
                 f"alpha={self.alpha}"
             )
-        graph = self.graph
-        stamp = manifest["graph"]
-        if stamp["fingerprint"] != _graph_fingerprint(graph):
-            raise IndexMismatchError(
-                f"stale indexes: saved for n={stamp['num_nodes']}, "
-                f"m={stamp['num_edges']} at graph version "
-                f"{stamp['version']}; the engine's current snapshot "
-                f"(n={graph.num_nodes}, m={graph.num_edges}, "
-                f"version={self.graph_version}) has different content"
-            )
-        self._sync_caches()
-        cached_budgets = {built_w for built_w, _, _ in self._fora_indexes}
-        loaded = 0
-        for entry in manifest["indexes"]:
-            if entry["kind"] == "walk":
-                index = load_walk_index(directory / entry["file"])
-                index.check_graph(graph)
-                self._walk_index = index
-                self._artefact_versions["walk"] = self.graph_version
-            elif entry["kind"] == "fora":
-                budget = int(entry["walk_budget"])
-                if budget in cached_budgets:
-                    continue  # re-loading must not duplicate entries
-                index = load_walk_index(directory / entry["file"])
-                index.check_graph(graph)
-                self._fora_indexes.append(
-                    (budget, index, self.graph_version)
-                )
-                cached_budgets.add(budget)
-            else:
+        with self._lock:
+            graph = self.graph
+            stamp = manifest["graph"]
+            if stamp["fingerprint"] != _graph_fingerprint(graph):
                 raise IndexMismatchError(
-                    f"unknown index kind {entry['kind']!r} in manifest"
+                    f"stale indexes: saved for n={stamp['num_nodes']}, "
+                    f"m={stamp['num_edges']} at graph version "
+                    f"{stamp['version']}; the engine's current snapshot "
+                    f"(n={graph.num_nodes}, m={graph.num_edges}, "
+                    f"version={self.graph_version}) has different content"
                 )
-            loaded += 1
-        return loaded
+            self._sync_caches()
+            cached_budgets = {built_w for built_w, _, _ in self._fora_indexes}
+            loaded = 0
+            for entry in manifest["indexes"]:
+                if entry["kind"] == "walk":
+                    index = load_walk_index(directory / entry["file"])
+                    index.check_graph(graph)
+                    self._walk_index = index
+                    self._artefact_versions["walk"] = self.graph_version
+                elif entry["kind"] == "fora":
+                    budget = int(entry["walk_budget"])
+                    if budget in cached_budgets:
+                        continue  # re-loading must not duplicate entries
+                    index = load_walk_index(directory / entry["file"])
+                    index.check_graph(graph)
+                    self._fora_indexes.append(
+                        (budget, index, self.graph_version)
+                    )
+                    cached_budgets.add(budget)
+                else:
+                    raise IndexMismatchError(
+                        f"unknown index kind {entry['kind']!r} in manifest"
+                    )
+                loaded += 1
+            return loaded
 
     # -- internals -------------------------------------------------------
     def _query_incremental(
         self, source: int, params: dict[str, Any]
     ) -> PPRResult:
         """Serve (and first repair) a tracked source's maintained pair."""
-        allowed = set(INCREMENTAL_METHOD_PARAMS)
-        unknown = sorted(set(params) - allowed)
-        if unknown:
-            raise ParameterError(
-                f"method 'incremental' does not accept parameter(s) "
-                f"{', '.join(unknown)}; accepted: {', '.join(sorted(allowed))}"
+        validate_incremental_params(params)
+        # Fully locked: tracker repair mutates the tracker's (p, r)
+        # pair and the shared journal, so concurrent refreshes of the
+        # same source must serialise.
+        with self._lock:
+            tracker = self._trackers.get(int(source))
+            if tracker is None:
+                tracker = self.track(
+                    source, l1_threshold=params.get("l1_threshold", 1e-8)
+                )
+            elif (
+                "l1_threshold" in params
+                and params["l1_threshold"] != tracker.l1_threshold
+            ):
+                raise ParameterError(
+                    f"source {source} is tracked at "
+                    f"l1_threshold={tracker.l1_threshold}; untrack() and "
+                    f"re-track to change it"
+                )
+            self._query_counter += 1
+            result = tracker.refresh(trace=params.get("trace"))
+            self.stats.record(result)
+            # Every tracker at or past this version has replayed the
+            # prefix; reclaim it so journal memory tracks pending work,
+            # not lifetime updates.  (Trackers owned elsewhere that
+            # fell behind the floor resync from a snapshot — see
+            # IncrementalPPR.refresh.)
+            assert self._dynamic is not None
+            self._dynamic.trim_journal(
+                min(t.version for t in self._trackers.values())
             )
-        tracker = self._trackers.get(int(source))
-        if tracker is None:
-            tracker = self.track(
-                source, l1_threshold=params.get("l1_threshold", 1e-8)
-            )
-        elif (
-            "l1_threshold" in params
-            and params["l1_threshold"] != tracker.l1_threshold
-        ):
-            raise ParameterError(
-                f"source {source} is tracked at "
-                f"l1_threshold={tracker.l1_threshold}; untrack() and "
-                f"re-track to change it"
-            )
-        self._query_counter += 1
-        result = tracker.refresh(trace=params.get("trace"))
-        self.stats.record(result)
-        # Every tracker at or past this version has replayed the prefix;
-        # reclaim it so journal memory tracks pending work, not lifetime
-        # updates.  (Trackers owned elsewhere that fell behind the floor
-        # resync from a snapshot — see IncrementalPPR.refresh.)
-        assert self._dynamic is not None
-        self._dynamic.trim_journal(
-            min(t.version for t in self._trackers.values())
-        )
-        return result
+            return result
 
-    def _prepare(self, spec: SolverSpec, merged: dict[str, Any]) -> None:
-        """Fill engine defaults and inject cached artefacts in place."""
+    def _prepare(
+        self,
+        spec: SolverSpec,
+        merged: dict[str, Any],
+        counter: int,
+        source: int,
+    ) -> None:
+        """Fill engine defaults and inject cached artefacts in place.
+
+        ``counter`` is the caller's reserved query number (claimed
+        under the lock) so the derived per-query stream is stable even
+        when preparation itself runs unlocked.  An explicit ``seed``
+        resolves through :func:`per_source_rng` — one derivation for
+        single queries, batches, and the serving layer alike.
+        """
         if spec.accepts("alpha"):
             merged.setdefault("alpha", self.alpha)
         if spec.accepts("dead_end_policy"):
@@ -741,9 +879,9 @@ class PPREngine:
         if spec.needs_rng and merged.get("rng") is None:
             seed = merged.pop("seed", None)
             if seed is not None:
-                merged["rng"] = np.random.default_rng(seed)
+                merged["rng"] = per_source_rng(seed, source)
             else:
-                merged["rng"] = self.rng(_QUERY_SALT_BASE + self._query_counter)
+                merged["rng"] = self.rng(_QUERY_SALT_BASE + counter)
         # The cached indexes are built at the engine's alpha; a query
         # that overrides alpha must not be served from them (the solver
         # would reject the mismatch — or worse, BePI would silently
@@ -798,12 +936,14 @@ class PPREngine:
             raise ParameterError(f"num_walks must be positive, got {num_walks}")
 
         seed = merged.pop("seed", None)
-        self._query_counter += 1
-        rng = (
-            np.random.default_rng(seed)
-            if seed is not None
-            else self.rng(_QUERY_SALT_BASE + self._query_counter)
-        )
+        with self._lock:
+            self._query_counter += 1
+            counter = self._query_counter
+        if seed is not None:
+            return self._batch_monte_carlo_seeded(
+                graph, sources, alpha, int(num_walks), seed
+            )
+        rng = self.rng(_QUERY_SALT_BASE + counter)
         # Simulate in source groups and reduce each group's stops to
         # per-source histograms immediately, so peak memory stays
         # bounded by _BATCH_WALK_BUDGET walks (plus the n-length count
@@ -848,6 +988,51 @@ class PPREngine:
                 seconds=share,
                 method="MonteCarlo",
             )
-            self.stats.record(result)
+            with self._lock:
+                self.stats.record(result)
+            results.append(result)
+        return results
+
+    def _batch_monte_carlo_seeded(
+        self,
+        graph: DiGraph,
+        sources: Sequence[int],
+        alpha: float,
+        num_walks: int,
+        seed: int,
+    ) -> list[PPRResult]:
+        """Seeded Monte-Carlo batch: one per-source stream, one sim each.
+
+        Each source's walks come from its own :func:`per_source_rng`
+        stream — exactly the stream ``monte_carlo_ppr`` would consume —
+        so the batch answer is order-independent and byte-identical to
+        a sequential ``query(s, seed=seed)``, at the cost of one (still
+        walk-vectorised) simulation per source instead of cross-source
+        grouping.
+        """
+        results: list[PPRResult] = []
+        for source in sources:
+            started = time.perf_counter()
+            stops, steps = simulate_walk_stops(
+                graph,
+                np.full(num_walks, source, dtype=np.int64),
+                alpha=alpha,
+                source=int(source),
+                rng=per_source_rng(seed, source),
+            )
+            counts = np.bincount(stops, minlength=graph.num_nodes)
+            result = PPRResult(
+                estimate=counts.astype(np.float64) / num_walks,
+                residue=None,
+                source=int(source),
+                alpha=alpha,
+                counters=PushCounters(
+                    random_walks=num_walks, walk_steps=steps
+                ),
+                seconds=time.perf_counter() - started,
+                method="MonteCarlo",
+            )
+            with self._lock:
+                self.stats.record(result)
             results.append(result)
         return results

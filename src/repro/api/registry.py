@@ -66,6 +66,7 @@ from repro.walks.index import (
 __all__ = [
     "ParamSpec",
     "SolverSpec",
+    "per_source_rng",
     "register_solver",
     "get_solver",
     "resolve_method",
@@ -76,6 +77,29 @@ __all__ = [
     "build_speedppr_index",
     "build_fora_index",
 ]
+
+
+def per_source_rng(seed: int, source: int) -> np.random.Generator:
+    """The RNG stream an explicit ``seed`` yields for ``source``.
+
+    One independent stream per *source id* —
+    ``default_rng(SeedSequence([seed, source]))`` — never per batch
+    position, so the answer a source gets under a fixed seed does not
+    depend on where it sits in a batch or on which other sources ride
+    along (the property the serving layer's coalescing relies on).
+    Every seeded path resolves through this one derivation —
+    ``solve(g, s, m, seed=S)``, ``PPREngine.query(s, m, seed=S)``, any
+    seeded batch member, and a served answer under seed ``S`` are
+    byte-identical.
+    """
+    if seed < 0 or source < 0:
+        raise ParameterError(
+            f"per-source streams need non-negative seed/source, got "
+            f"seed={seed}, source={source}"
+        )
+    return np.random.default_rng(
+        np.random.SeedSequence([int(seed), int(source)])
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -226,7 +250,14 @@ class SolverSpec:
             # injection so a seeded ad-hoc index build stays the only
             # consumer.
             if merged.get("walk_index") is None:
-                merged["rng"] = np.random.default_rng(seed)
+                # Explicit seeds resolve through the per-source
+                # derivation so registry-direct answers match the
+                # engine's and the serving layer's byte-for-byte.
+                merged["rng"] = (
+                    per_source_rng(seed, source)
+                    if seed is not None
+                    else np.random.default_rng()
+                )
         return self.fn(graph, source, **merged)
 
 

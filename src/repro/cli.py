@@ -26,6 +26,18 @@ Benchmark the dynamic-graph path — incremental refresh vs from-scratch
 solves while edge updates stream in::
 
     repro-ppr update-bench --batches 4 --batch-size 25
+
+Serve queries interactively through the concurrent serving layer
+(micro-batching scheduler + versioned result cache), one request per
+stdin line — ``SOURCE [METHOD] [key=value ...]``, ``+ U V`` / ``- U V``
+for edge updates, ``stats`` for counters::
+
+    echo "7 powerpush l1_threshold=1e-7" | repro-ppr serve dblp-s
+
+Load-test that serving layer against a synthetic Zipfian workload and
+compare with the serial one-query-at-a-time baseline::
+
+    repro-ppr loadtest --requests 400 --concurrency 8 --out bench.json
 """
 
 from __future__ import annotations
@@ -124,6 +136,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="compact the delta overlay after every batch",
     )
     bench.add_argument("--out", type=Path, help="also write the report here")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve queries from stdin through the concurrent serving layer",
+    )
+    serve.add_argument("dataset", choices=dataset_names())
+    serve.add_argument("--alpha", type=float, default=0.2)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=0.002,
+        help="micro-batch window in seconds",
+    )
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=4096,
+        help="result-cache entries (0 disables result caching)",
+    )
+    serve.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        help="result-cache TTL in seconds (default: no expiry)",
+    )
+    serve.add_argument("--top", type=int, default=5)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="benchmark the serving layer against a serial baseline",
+    )
+    loadtest.add_argument(
+        "--scale", type=int, default=10, help="log2 of the R-MAT id space"
+    )
+    loadtest.add_argument("--edges", type=int, default=8_000)
+    loadtest.add_argument("--requests", type=int, default=400)
+    loadtest.add_argument(
+        "--sources", type=int, default=48, help="Zipfian hot-set size"
+    )
+    loadtest.add_argument("--zipf", type=float, default=1.1)
+    loadtest.add_argument(
+        "--read-fraction",
+        type=float,
+        default=1.0,
+        help="query fraction; the rest are edge updates (soak mode)",
+    )
+    loadtest.add_argument(
+        "--arrival",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed: worker pool; open: Poisson arrivals at --rate",
+    )
+    loadtest.add_argument(
+        "--rate", type=float, default=500.0, help="open-loop arrivals/second"
+    )
+    loadtest.add_argument("--concurrency", type=int, default=8)
+    loadtest.add_argument("--window", type=float, default=0.002)
+    loadtest.add_argument("--max-batch", type=int, default=64)
+    loadtest.add_argument("--cache-capacity", type=int, default=4096)
+    loadtest.add_argument("--method", default="powerpush")
+    loadtest.add_argument("--alpha", type=float, default=0.2)
+    loadtest.add_argument("--l1-threshold", type=float, default=1e-7)
+    loadtest.add_argument("--epsilon", type=float, default=0.5)
+    loadtest.add_argument("--seed", type=int, default=2021)
+    loadtest.add_argument(
+        "--out", type=Path, help="also write the metrics JSON here"
+    )
     return parser
 
 
@@ -142,6 +223,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_query(args)
         if args.command == "update-bench":
             return _cmd_update_bench(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "loadtest":
+            return _cmd_loadtest(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -208,6 +293,189 @@ def _cmd_update_bench(args: argparse.Namespace) -> int:
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(report + "\n")
+    return 0
+
+
+def _parse_request_value(text: str):
+    """Best-effort typed parse of a ``key=value`` request parameter."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Interactive/pipe server: one request per stdin line.
+
+    ``SOURCE [METHOD] [key=value ...]`` answers a query through the
+    scheduler + cache; ``+ U V`` / ``- U V`` applies an edge update
+    (dataset graphs are wrapped in a DynamicGraph so the writer path
+    works); ``stats`` prints the serving counters; ``quit`` or EOF
+    stops.
+    """
+    from repro.graph.dynamic import DynamicGraph
+    from repro.serving import EngineServer
+
+    dynamic = DynamicGraph(load_dataset(args.dataset))
+    server = EngineServer(
+        dynamic,
+        alpha=args.alpha,
+        seed=args.seed,
+        window=args.window,
+        max_batch=args.max_batch,
+        cache_capacity=args.cache_capacity,
+        cache_ttl=args.cache_ttl,
+    )
+    print(
+        f"serving {args.dataset} (n={dynamic.num_nodes}, "
+        f"m={dynamic.num_edges}); one request per line "
+        f"(SOURCE [METHOD] [key=value ...], '+ U V', '- U V', 'stats')"
+    )
+    with server:
+        for line in sys.stdin:
+            tokens = line.split()
+            if not tokens:
+                continue
+            head = tokens[0]
+            if head in ("quit", "exit"):
+                break
+            try:
+                if head == "stats":
+                    _print_server_stats(server)
+                elif head in ("+", "-"):
+                    if len(tokens) != 3:
+                        raise ReproError(f"usage: {head} U V")
+                    version = server.apply_updates(
+                        [(head, int(tokens[1]), int(tokens[2]))]
+                    )
+                    print(f"ok: graph now at version {version}")
+                else:
+                    source = int(head)
+                    rest = tokens[1:]
+                    method = "powerpush"
+                    if rest and "=" not in rest[0]:
+                        method = rest[0]
+                        rest = rest[1:]
+                    bad = [token for token in rest if "=" not in token]
+                    if bad:
+                        # Refuse rather than silently answer with
+                        # defaults the user didn't ask for.
+                        raise ReproError(
+                            f"unparseable request token(s) "
+                            f"{' '.join(bad)!r}: expected key=value"
+                        )
+                    params = {
+                        key: _parse_request_value(value)
+                        for key, value in (
+                            token.split("=", 1) for token in rest
+                        )
+                    }
+                    served = server.query(source, method, **params)
+                    origin = "cache" if served.cache_hit else (
+                        f"batch of {served.batch_size}"
+                    )
+                    print(
+                        f"{served.result.method} source={source} "
+                        f"version={served.version} ({origin}, "
+                        f"{served.result.seconds:.4f}s)"
+                    )
+                    for rank, (node, score) in enumerate(
+                        served.result.top_k(args.top), start=1
+                    ):
+                        print(f"  #{rank:<3d} node {node:<8d} ppr={score:.6e}")
+            except Exception as exc:  # noqa: BLE001 - per-request isolation
+                # One bad request must not end the session: report it
+                # on this line's output and keep reading stdin.
+                print(f"error: {exc}")
+    return 0
+
+
+def _print_server_stats(server) -> None:
+    stats = server.stats()
+    scheduler = stats["scheduler"]
+    cache = stats["cache"]
+    print(
+        f"requests={stats['requests']} "
+        f"graph_version={stats['graph_version']} "
+        f"hit_rate={stats['hit_rate_at_submit']:.2%}"
+    )
+    print(
+        f"scheduler: batches={scheduler['batches']} "
+        f"engine_calls={scheduler['engine_calls']} "
+        f"batching_factor={scheduler['batching_factor']:.2f}"
+    )
+    if cache:
+        print(
+            f"cache: hits={cache['hits']} misses={cache['misses']} "
+            f"stale_drops={cache['stale_drops']} "
+            f"invalidations={cache['invalidations']}"
+        )
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.generators.rmat import rmat_digraph
+    from repro.graph.dynamic import DynamicGraph
+    from repro.serving import WorkloadGenerator, run_loadtest
+
+    spec, implied = resolve_method(args.method)
+    candidates = {
+        "l1_threshold": args.l1_threshold,
+        "epsilon": args.epsilon,
+        "seed": args.seed,
+    }
+    params = dict(implied)
+    params.update(
+        {k: v for k, v in candidates.items() if spec.accepts(k)}
+    )
+
+    # One shared immutable base; each run layers its own overlay (or
+    # queries it directly), so nothing is generated twice.
+    base = rmat_digraph(
+        args.scale,
+        args.edges,
+        rng=np.random.default_rng(args.seed),
+        name="loadtest-rmat",
+    )
+
+    def make_graph():
+        if args.read_fraction < 1.0:
+            return DynamicGraph(base)
+        return base
+
+    workload = WorkloadGenerator(
+        base.num_nodes,
+        num_sources=args.sources,
+        zipf_exponent=args.zipf,
+        read_fraction=args.read_fraction,
+        arrival=args.arrival,
+        arrival_rate=args.rate,
+        seed=args.seed,
+    ).generate(args.requests)
+    report = run_loadtest(
+        make_graph,
+        workload,
+        method=args.method,
+        params=params,
+        alpha=args.alpha,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        window=args.window,
+        max_batch=args.max_batch,
+        cache_capacity=args.cache_capacity,
+    )
+    print(report.render())
+    if args.out is not None:
+        path = report.write_json(args.out)
+        print(f"metrics written to {path}")
     return 0
 
 

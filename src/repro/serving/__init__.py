@@ -1,0 +1,51 @@
+"""Concurrent PPR serving: scheduler + versioned cache + server + load.
+
+The per-query machinery (:mod:`repro.api`) answers one query well;
+this package makes it a *service*:
+
+* :class:`~repro.serving.server.EngineServer` — the thread-safe front
+  door: futures in, :class:`~repro.serving.scheduler.ServedResult`
+  out, graph updates serialised against in-flight reads.
+* :class:`~repro.serving.scheduler.QueryScheduler` — micro-batch
+  window that coalesces compatible concurrent requests into one
+  ``batch_query``.
+* :class:`~repro.serving.cache.ResultCache` — LRU + TTL memoisation of
+  full answers, stamped with the graph version exactly like the
+  engine's index caches.
+* :class:`~repro.serving.locks.RWLock` — the readers-writer primitive
+  the consistency guarantee rests on.
+* :class:`~repro.serving.workload.WorkloadGenerator` /
+  :func:`~repro.serving.loadtest.run_loadtest` — synthetic Zipfian
+  traffic and the load/soak harness behind ``repro-ppr loadtest`` and
+  ``benchmarks/bench_serving.py``.
+"""
+
+from repro.serving.cache import (
+    CacheStats,
+    ResultCache,
+    make_cache_key,
+    resolve_request,
+)
+from repro.serving.loadtest import LoadtestReport, RunMetrics, run_loadtest
+from repro.serving.locks import RWLock
+from repro.serving.scheduler import QueryScheduler, SchedulerStats, ServedResult
+from repro.serving.server import EngineServer
+from repro.serving.workload import Operation, Workload, WorkloadGenerator
+
+__all__ = [
+    "EngineServer",
+    "QueryScheduler",
+    "SchedulerStats",
+    "ServedResult",
+    "ResultCache",
+    "CacheStats",
+    "make_cache_key",
+    "resolve_request",
+    "RWLock",
+    "WorkloadGenerator",
+    "Workload",
+    "Operation",
+    "LoadtestReport",
+    "RunMetrics",
+    "run_loadtest",
+]

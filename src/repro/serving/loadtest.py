@@ -1,0 +1,417 @@
+"""Load/soak harness: a workload vs the server and a serial baseline.
+
+Answers the serving layer's headline question with numbers: *what does
+the scheduler + cache buy over answering one query at a time?*  One
+call to :func:`run_loadtest`
+
+1. replays a :class:`~repro.serving.workload.Workload` against a fresh
+   :class:`~repro.serving.server.EngineServer` (closed-loop worker
+   pool or open-loop paced submission),
+2. replays the identical sequence against a bare engine, one blocking
+   ``query`` at a time, no cache, no batching,
+3. cross-checks the answers (byte-identical for deterministic methods
+   on read-only workloads) and emits a :class:`LoadtestReport` with
+   throughput, p50/p99 latency, cache hit rate, batching factor, and
+   the speedup — the payload of ``BENCH_serving.json``.
+
+Both runs build their graph from the same factory and draw edge
+updates from the same stream, so a read/write soak mutates the two
+graphs identically: an update is sampled and applied at the moment its
+operation is claimed (before the claim cursor advances), which pins
+the sampling state, the RNG draw order, and the apply order to the
+workload's operation order in both runs.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.api.engine import PPREngine
+from repro.api.registry import resolve_method
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.graph.dynamic import DynamicGraph, sample_edge_update
+from repro.serving.server import EngineServer
+from repro.serving.workload import Workload
+
+__all__ = ["LoadtestReport", "RunMetrics", "run_loadtest"]
+
+
+@dataclass
+class RunMetrics:
+    """Throughput/latency summary of one workload replay."""
+
+    wall_seconds: float
+    queries: int
+    updates: int
+    p50_ms: float
+    p99_ms: float
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.queries / self.wall_seconds if self.wall_seconds else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "queries": self.queries,
+            "updates": self.updates,
+            "throughput_qps": self.throughput_qps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+        }
+
+
+@dataclass
+class LoadtestReport:
+    """Everything one loadtest measured, renderable and JSON-able."""
+
+    workload: str
+    method: str
+    concurrency: int
+    served: RunMetrics
+    serial: RunMetrics
+    cache_hit_rate: float
+    batching_factor: float
+    identical: bool | None
+    server_stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Served throughput over the serial one-at-a-time baseline."""
+        if self.serial.throughput_qps == 0.0:
+            return 0.0
+        return self.served.throughput_qps / self.serial.throughput_qps
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "method": self.method,
+            "concurrency": self.concurrency,
+            "served": self.served.as_dict(),
+            "serial": self.serial.as_dict(),
+            "speedup": self.speedup,
+            "cache_hit_rate": self.cache_hit_rate,
+            "batching_factor": self.batching_factor,
+            "identical": self.identical,
+            "server_stats": self.server_stats,
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    def render(self) -> str:
+        identical = (
+            "n/a (stochastic method or write traffic)"
+            if self.identical is None
+            else str(self.identical)
+        )
+        lines = [
+            f"loadtest [{self.method}] {self.workload}",
+            f"  served : {self.served.throughput_qps:9.1f} q/s   "
+            f"p50 {self.served.p50_ms:7.2f} ms   "
+            f"p99 {self.served.p99_ms:7.2f} ms   "
+            f"({self.concurrency} workers)",
+            f"  serial : {self.serial.throughput_qps:9.1f} q/s   "
+            f"p50 {self.serial.p50_ms:7.2f} ms   "
+            f"p99 {self.serial.p99_ms:7.2f} ms   (1 thread, no cache)",
+            f"  speedup: {self.speedup:.2f}x   cache hit rate "
+            f"{self.cache_hit_rate:.2%}   batching factor "
+            f"{self.batching_factor:.2f}",
+            f"  answers byte-identical to serial: {identical}",
+        ]
+        return "\n".join(lines)
+
+
+def _percentiles(latencies: list[float]) -> tuple[float, float]:
+    if not latencies:
+        return 0.0, 0.0
+    arr = np.asarray(latencies) * 1e3
+    return float(np.percentile(arr, 50)), float(np.percentile(arr, 99))
+
+
+def _require_dynamic(engine: PPREngine, workload: Workload) -> None:
+    if workload.num_updates and engine.dynamic_graph is None:
+        raise ParameterError(
+            "workload contains edge updates; make_graph must return a "
+            "DynamicGraph"
+        )
+
+
+def _run_serial(
+    make_graph: Callable[[], DiGraph | DynamicGraph],
+    workload: Workload,
+    method: str,
+    params: Mapping[str, Any],
+    *,
+    alpha: float,
+    seed: int,
+    collect: bool,
+) -> tuple[RunMetrics, dict[int, np.ndarray]]:
+    """The baseline: one engine, one thread, one query at a time."""
+    engine = PPREngine(make_graph(), alpha=alpha, seed=seed)
+    _require_dynamic(engine, workload)
+    update_rng = workload.update_rng()
+    estimates: dict[int, np.ndarray] = {}
+    latencies: list[float] = []
+    started = time.perf_counter()
+    for op in workload.operations:
+        if op.kind == "query":
+            begin = time.perf_counter()
+            result = engine.query(op.source, method, **dict(params))
+            latencies.append(time.perf_counter() - begin)
+            if collect:
+                estimates[op.index] = result.estimate
+        else:
+            update = sample_edge_update(engine.dynamic_graph, update_rng)
+            engine.apply_updates([update])
+    wall = time.perf_counter() - started
+    p50, p99 = _percentiles(latencies)
+    return (
+        RunMetrics(
+            wall_seconds=wall,
+            queries=workload.num_queries,
+            updates=workload.num_updates,
+            p50_ms=p50,
+            p99_ms=p99,
+        ),
+        estimates,
+    )
+
+
+def _run_served(
+    make_graph: Callable[[], DiGraph | DynamicGraph],
+    workload: Workload,
+    method: str,
+    params: Mapping[str, Any],
+    *,
+    alpha: float,
+    seed: int,
+    concurrency: int,
+    window: float,
+    max_batch: int,
+    cache_capacity: int,
+    cache_ttl: float | None,
+    collect: bool,
+) -> tuple[RunMetrics, dict[int, np.ndarray], dict[str, Any]]:
+    """Replay the workload against an :class:`EngineServer`."""
+    server = EngineServer(
+        make_graph(),
+        alpha=alpha,
+        seed=seed,
+        window=window,
+        max_batch=max_batch,
+        cache_capacity=cache_capacity,
+        cache_ttl=cache_ttl,
+    )
+    _require_dynamic(server.engine, workload)
+    update_rng = workload.update_rng()
+    operations = workload.operations
+    latencies: list[float | None] = [None] * len(operations)
+    estimates: dict[int, np.ndarray] = {}
+    estimates_mutex = threading.Lock()
+    errors: list[BaseException] = []
+
+    def _apply_one_update() -> None:
+        update = sample_edge_update(server.engine.dynamic_graph, update_rng)
+        server.apply_updates([update])
+
+    def _answer(op, served) -> None:
+        if collect:
+            with estimates_mutex:
+                estimates[op.index] = served.result.estimate
+
+    with server:
+        started = time.perf_counter()
+        if workload.arrival == "open":
+            # Open loop: one pacing thread submits at the workload's
+            # Poisson arrival times and never waits for completions.
+            # Updates go through a dedicated writer thread (FIFO, so
+            # the stream still matches the serial baseline's order) —
+            # if the pacing thread blocked on the exclusive write lock
+            # itself, arrivals scheduled during the wait would bunch up
+            # and the Poisson process the mode exists to provide would
+            # be distorted.
+            update_queue: "queue.Queue[object]" = queue.Queue()
+            _STOP = object()
+
+            def _updater() -> None:
+                try:
+                    while True:
+                        item = update_queue.get()
+                        if item is _STOP:
+                            return
+                        _apply_one_update()
+                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    errors.append(exc)
+
+            updater = threading.Thread(target=_updater, name="lt-updater")
+            updater.start()
+            futures: list[tuple[Any, Any]] = []
+
+            def _record_on_done(op, begin):
+                # Completion time is stamped by the resolving thread —
+                # charging collection-loop time would inflate the tail
+                # of every request that finished during pacing.
+                def _done(future) -> None:
+                    latencies[op.index] = time.perf_counter() - begin
+
+                return _done
+
+            for op in operations:
+                delay = started + op.at - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                if op.kind == "update":
+                    update_queue.put(op)
+                    continue
+                # Clock starts before submit: time spent blocked inside
+                # it (read lock queued behind a writer) is queueing
+                # delay the open-loop tail must include.
+                begin = time.perf_counter()
+                future = server.submit(op.source, method, **dict(params))
+                future.add_done_callback(_record_on_done(op, begin))
+                futures.append((op, future))
+            update_queue.put(_STOP)
+            for op, future in futures:
+                _answer(op, future.result())
+            updater.join()
+        else:
+            # Closed loop: `concurrency` workers drain a shared cursor.
+            cursor = {"next": 0}
+            cursor_mutex = threading.Lock()
+
+            def _worker() -> None:
+                try:
+                    while True:
+                        with cursor_mutex:
+                            position = cursor["next"]
+                            if position >= len(operations):
+                                return
+                            cursor["next"] = position + 1
+                            op = operations[position]
+                            if op.kind == "update":
+                                # Sampled and applied before the cursor
+                                # advances past it, so the update
+                                # stream (state seen at sampling, RNG
+                                # draws, apply order) is identical to
+                                # the serial baseline's.
+                                _apply_one_update()
+                        if op.kind == "update":
+                            continue
+                        begin = time.perf_counter()
+                        served = server.query(
+                            op.source, method, **dict(params)
+                        )
+                        latencies[op.index] = time.perf_counter() - begin
+                        _answer(op, served)
+                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=_worker, name=f"loadtest-{i}")
+                for i in range(concurrency)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        wall = time.perf_counter() - started
+        stats = server.stats()
+    if errors:
+        raise errors[0]
+    p50, p99 = _percentiles([lat for lat in latencies if lat is not None])
+    return (
+        RunMetrics(
+            wall_seconds=wall,
+            queries=workload.num_queries,
+            updates=workload.num_updates,
+            p50_ms=p50,
+            p99_ms=p99,
+        ),
+        estimates,
+        stats,
+    )
+
+
+def run_loadtest(
+    make_graph: Callable[[], DiGraph | DynamicGraph],
+    workload: Workload,
+    *,
+    method: str = "powerpush",
+    params: Mapping[str, Any] | None = None,
+    alpha: float = 0.2,
+    seed: int = 0,
+    concurrency: int = 8,
+    window: float = 0.002,
+    max_batch: int = 64,
+    cache_capacity: int = 4096,
+    cache_ttl: float | None = None,
+    compare: bool = True,
+) -> LoadtestReport:
+    """Measure served vs serial replay of ``workload``; see module doc.
+
+    ``make_graph`` is called twice (once per run) so the serial
+    baseline's mutations never leak into the served run.  The
+    byte-identical cross-check runs only when it is meaningful: a
+    deterministic method on a read-only workload (stochastic methods
+    and write traffic legitimately diverge, reported as ``None``).
+    """
+    if concurrency < 1:
+        raise ParameterError(f"concurrency must be >= 1, got {concurrency}")
+    params = dict(params or {})
+    spec, _ = resolve_method(method)
+    comparable = (
+        compare and not spec.needs_rng and workload.num_updates == 0
+    )
+    served_metrics, served_estimates, stats = _run_served(
+        make_graph,
+        workload,
+        method,
+        params,
+        alpha=alpha,
+        seed=seed,
+        concurrency=concurrency,
+        window=window,
+        max_batch=max_batch,
+        cache_capacity=cache_capacity,
+        cache_ttl=cache_ttl,
+        collect=comparable,
+    )
+    serial_metrics, serial_estimates = _run_serial(
+        make_graph,
+        workload,
+        method,
+        params,
+        alpha=alpha,
+        seed=seed,
+        collect=comparable,
+    )
+    identical: bool | None = None
+    if comparable:
+        identical = all(
+            np.array_equal(served_estimates[index], serial_estimates[index])
+            for index in serial_estimates
+        )
+    return LoadtestReport(
+        workload=workload.describe(),
+        method=spec.name,
+        concurrency=concurrency,
+        served=served_metrics,
+        serial=serial_metrics,
+        cache_hit_rate=float(stats["cache"].get("hit_rate", 0.0)),
+        batching_factor=float(stats["scheduler"]["batching_factor"]),
+        identical=identical,
+        server_stats=stats,
+    )

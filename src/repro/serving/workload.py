@@ -1,0 +1,202 @@
+"""Synthetic serving workloads: Zipfian sources, read/write mix, arrivals.
+
+Real query traffic is skewed — a few hot sources absorb most requests
+(the regime both the result cache and the paper's index reuse are
+built for).  :class:`WorkloadGenerator` reproduces that shape
+deterministically from a seed:
+
+* **sources** follow a Zipf law over a hot set sampled from the node
+  id space (``p(rank) ∝ rank^-s``),
+* a configurable **read/write mix** interleaves edge-update operations
+  with queries (writes are *sampled lazily* against the live graph at
+  apply time, because a valid edge edit depends on the graph's current
+  state — the generator only fixes their positions and their RNG),
+* **arrival** is either *closed-loop* (a fixed worker pool, next
+  request on completion) or *open-loop* (Poisson arrivals at a target
+  rate, load independent of service time — the honest way to measure
+  tail latency).
+
+The generator emits a plain :class:`Workload` — an operation list any
+harness can replay; :mod:`repro.serving.loadtest` drives it against an
+:class:`~repro.serving.server.EngineServer` and a serial baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["Operation", "Workload", "WorkloadGenerator"]
+
+#: Salt mixed into the workload seed for the lazy update-sampling RNG,
+#: so query-source and edge-update streams never correlate.
+UPDATE_RNG_SALT = 0x5EED_CAFE
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One workload step: a query against a source, or an edge update.
+
+    ``at`` is the arrival offset in seconds from workload start for
+    open-loop runs (0.0 everywhere in closed-loop workloads, where
+    arrival is completion-driven).  Updates carry ``source == -1``;
+    the concrete edge edit is sampled at apply time from the
+    workload's update RNG.
+    """
+
+    index: int
+    kind: str  # "query" | "update"
+    source: int
+    at: float
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A replayable operation sequence plus the knobs that shaped it."""
+
+    operations: tuple[Operation, ...]
+    num_sources: int
+    zipf_exponent: float
+    read_fraction: float
+    arrival: str
+    arrival_rate: float
+    seed: int
+
+    @property
+    def num_queries(self) -> int:
+        return sum(1 for op in self.operations if op.kind == "query")
+
+    @property
+    def num_updates(self) -> int:
+        return len(self.operations) - self.num_queries
+
+    @property
+    def distinct_sources(self) -> int:
+        return len({op.source for op in self.operations if op.kind == "query"})
+
+    def queries(self) -> Iterator[Operation]:
+        return (op for op in self.operations if op.kind == "query")
+
+    def update_rng(self) -> np.random.Generator:
+        """The generator a harness must sample edge updates from.
+
+        Both the served run and the serial baseline draw from an
+        identically-seeded stream and apply updates in operation
+        order, so the two runs mutate their graphs identically.
+        """
+        return np.random.default_rng(self.seed + UPDATE_RNG_SALT)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.operations)} ops ({self.num_queries} queries / "
+            f"{self.num_updates} updates), zipf s={self.zipf_exponent} "
+            f"over {self.num_sources} hot sources, {self.arrival}-loop"
+            + (
+                f" @ {self.arrival_rate:.0f} req/s"
+                if self.arrival == "open"
+                else ""
+            )
+        )
+
+
+class WorkloadGenerator:
+    """Deterministic generator of serving workloads for one graph size.
+
+    Parameters
+    ----------
+    num_nodes:
+        Node-id space queries draw sources from.
+    num_sources:
+        Size of the Zipfian hot set (distinct query sources).
+    zipf_exponent:
+        Skew ``s`` of ``p(rank) ∝ rank^-s``; larger = hotter head.
+        ``0`` degenerates to uniform over the hot set.
+    read_fraction:
+        Probability an operation is a query (1.0 = read-only).
+    arrival:
+        ``"closed"`` (completion-driven) or ``"open"`` (Poisson
+        timestamps at ``arrival_rate`` requests/second).
+    seed:
+        Everything — hot-set choice, source draws, mix, arrivals, and
+        the update-sampling stream — derives from this.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        *,
+        num_sources: int = 64,
+        zipf_exponent: float = 1.1,
+        read_fraction: float = 1.0,
+        arrival: str = "closed",
+        arrival_rate: float = 500.0,
+        seed: int = 0,
+    ) -> None:
+        if num_nodes < 1:
+            raise ParameterError(f"num_nodes must be >= 1, got {num_nodes}")
+        if not 1 <= num_sources <= num_nodes:
+            raise ParameterError(
+                f"num_sources must be in [1, {num_nodes}], got {num_sources}"
+            )
+        if zipf_exponent < 0:
+            raise ParameterError(
+                f"zipf_exponent must be >= 0, got {zipf_exponent}"
+            )
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ParameterError(
+                f"read_fraction must be in [0, 1], got {read_fraction}"
+            )
+        if arrival not in ("closed", "open"):
+            raise ParameterError(
+                f"arrival must be 'closed' or 'open', got {arrival!r}"
+            )
+        if arrival_rate <= 0:
+            raise ParameterError(
+                f"arrival_rate must be positive, got {arrival_rate}"
+            )
+        self.num_nodes = int(num_nodes)
+        self.num_sources = int(num_sources)
+        self.zipf_exponent = float(zipf_exponent)
+        self.read_fraction = float(read_fraction)
+        self.arrival = arrival
+        self.arrival_rate = float(arrival_rate)
+        self.seed = int(seed)
+
+    def generate(self, num_ops: int) -> Workload:
+        """Materialise ``num_ops`` operations (deterministic per seed)."""
+        if num_ops < 1:
+            raise ParameterError(f"num_ops must be >= 1, got {num_ops}")
+        rng = np.random.default_rng(self.seed)
+        hot = rng.choice(self.num_nodes, size=self.num_sources, replace=False)
+        ranks = np.arange(1, self.num_sources + 1, dtype=np.float64)
+        weights = ranks ** (-self.zipf_exponent)
+        weights /= weights.sum()
+        sources = rng.choice(hot, size=num_ops, p=weights)
+        is_query = rng.random(num_ops) < self.read_fraction
+        if self.arrival == "open":
+            gaps = rng.exponential(1.0 / self.arrival_rate, size=num_ops)
+            arrivals = np.cumsum(gaps)
+        else:
+            arrivals = np.zeros(num_ops)
+        operations = tuple(
+            Operation(
+                index=i,
+                kind="query" if is_query[i] else "update",
+                source=int(sources[i]) if is_query[i] else -1,
+                at=float(arrivals[i]),
+            )
+            for i in range(num_ops)
+        )
+        return Workload(
+            operations=operations,
+            num_sources=self.num_sources,
+            zipf_exponent=self.zipf_exponent,
+            read_fraction=self.read_fraction,
+            arrival=self.arrival,
+            arrival_rate=self.arrival_rate,
+            seed=self.seed,
+        )

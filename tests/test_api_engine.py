@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.api import PPREngine, get_solver, solver_names
+from repro.api import PPREngine, get_solver, per_source_rng, solver_names
 from repro.baselines.fora import fora
 from repro.baselines.resacc import resacc
 from repro.bepi.blockelim import build_bepi_index
@@ -77,23 +77,23 @@ class TestQueryParity:
         mine = engine.query(
             0, method="speedppr", use_index=False, seed=SEED
         )
-        ref = speed_ppr(graph, 0, rng=np.random.default_rng(SEED))
+        ref = speed_ppr(graph, 0, rng=per_source_rng(SEED, 0))
         np.testing.assert_array_equal(mine.estimate, ref.estimate)
 
     def test_fora(self, graph, engine):
         mine = engine.query(0, method="fora", seed=SEED)
-        ref = fora(graph, 0, rng=np.random.default_rng(SEED))
+        ref = fora(graph, 0, rng=per_source_rng(SEED, 0))
         np.testing.assert_array_equal(mine.estimate, ref.estimate)
 
     def test_resacc(self, graph, engine):
         mine = engine.query(0, method="resacc", seed=SEED)
-        ref = resacc(graph, 0, rng=np.random.default_rng(SEED))
+        ref = resacc(graph, 0, rng=per_source_rng(SEED, 0))
         np.testing.assert_array_equal(mine.estimate, ref.estimate)
 
     def test_montecarlo(self, graph, engine):
         mine = engine.query(0, method="montecarlo", num_walks=300, seed=SEED)
         ref = monte_carlo_ppr(
-            graph, 0, num_walks=300, rng=np.random.default_rng(SEED)
+            graph, 0, num_walks=300, rng=per_source_rng(SEED, 0)
         )
         np.testing.assert_array_equal(mine.estimate, ref.estimate)
 
@@ -205,12 +205,17 @@ class TestBatchQuery:
         for left, right in zip(a, b):
             np.testing.assert_array_equal(left.estimate, right.estimate)
 
-    def test_stochastic_batch_with_seed_varies_per_source(self, engine):
-        # same source twice in one seeded batch: independent streams
+    def test_seeded_batch_is_a_function_of_seed_and_source(self, engine):
+        # Seeded batches derive one stream per source *id* (see
+        # per_source_rng), so the same source listed twice gets the
+        # same answer and distinct sources get independent streams.
         results = engine.batch_query(
-            [0, 0], method="montecarlo", num_walks=400, seed=3
+            [0, 0, 1], method="montecarlo", num_walks=400, seed=3
         )
-        assert not np.array_equal(results[0].estimate, results[1].estimate)
+        np.testing.assert_array_equal(
+            results[0].estimate, results[1].estimate
+        )
+        assert not np.array_equal(results[0].estimate, results[2].estimate)
 
     def test_montecarlo_batch_preserves_total_walk_steps(
         self, engine, monkeypatch
@@ -226,8 +231,10 @@ class TestBatchQuery:
             return stops, steps
 
         monkeypatch.setattr(engine_module, "simulate_walk_stops", spy)
+        # Unseeded: the cross-source grouped simulation, whose batch
+        # totals are apportioned evenly across sources.
         results = engine.batch_query(
-            [0, 1, 2], method="montecarlo", num_walks=100, seed=2
+            [0, 1, 2], method="montecarlo", num_walks=100
         )
         attributed = sum(r.counters.walk_steps for r in results)
         assert attributed == observed["steps"]  # no remainder lost
@@ -238,6 +245,98 @@ class TestBatchQuery:
     def test_batch_shares_one_walk_index(self, engine):
         engine.batch_query([0, 1, 2], method="speedppr", epsilon=0.5)
         assert engine.index_builds["walk"] == 1
+
+
+class TestSeededBatchOrderIndependence:
+    """Seeded ``batch_query`` answers are order-independent.
+
+    The per-source stream derivation (:func:`per_source_rng`) keys on
+    the source *id*, so under a fixed seed a source's answer is the
+    same whether the batch is permuted, split, shrunk to a singleton,
+    or answered sequentially with the documented derived stream.
+    """
+
+    def test_montecarlo_permutation_invariant(self, engine):
+        sources = [0, 1, 2, 3, 4]
+        shuffled = [3, 0, 4, 2, 1]
+        a = {
+            r.source: r.estimate
+            for r in engine.batch_query(
+                sources, method="montecarlo", num_walks=300, seed=SEED
+            )
+        }
+        b = {
+            r.source: r.estimate
+            for r in engine.batch_query(
+                shuffled, method="montecarlo", num_walks=300, seed=SEED
+            )
+        }
+        for source in sources:
+            np.testing.assert_array_equal(a[source], b[source])
+
+    def test_montecarlo_split_and_singleton_invariant(self, engine):
+        whole = engine.batch_query(
+            [0, 1, 2], method="montecarlo", num_walks=200, seed=SEED
+        )
+        parts = engine.batch_query(
+            [1, 2], method="montecarlo", num_walks=200, seed=SEED
+        )
+        single = engine.batch_query(
+            [0], method="montecarlo", num_walks=200, seed=SEED
+        )
+        np.testing.assert_array_equal(whole[1].estimate, parts[0].estimate)
+        np.testing.assert_array_equal(whole[2].estimate, parts[1].estimate)
+        np.testing.assert_array_equal(whole[0].estimate, single[0].estimate)
+
+    def test_batch_member_matches_documented_sequential_stream(self, graph):
+        from repro.api.engine import per_source_rng
+
+        batch = PPREngine(graph, seed=3).batch_query(
+            [2, 0, 4], method="montecarlo", num_walks=250, seed=11
+        )
+        fresh = PPREngine(graph, seed=99)  # engine seed must not matter
+        for result in batch:
+            ref = fresh.query(
+                result.source,
+                method="montecarlo",
+                num_walks=250,
+                rng=per_source_rng(11, result.source),
+            )
+            np.testing.assert_array_equal(result.estimate, ref.estimate)
+
+    def test_seeded_single_query_equals_seeded_batch_member(self, graph):
+        # query(s, seed=S) resolves through the same per-source
+        # derivation as a seeded batch: one contract everywhere.
+        batch = PPREngine(graph, seed=3).batch_query(
+            [1, 4], method="montecarlo", num_walks=250, seed=11
+        )
+        single = PPREngine(graph, seed=99).query(
+            4, method="montecarlo", num_walks=250, seed=11
+        )
+        np.testing.assert_array_equal(batch[1].estimate, single.estimate)
+
+    def test_index_free_speedppr_permutation_invariant(self, engine):
+        kwargs = dict(
+            method="speedppr", epsilon=0.4, use_index=False, seed=SEED
+        )
+        a = {
+            r.source: r.estimate
+            for r in engine.batch_query([0, 1, 2], **kwargs)
+        }
+        b = {
+            r.source: r.estimate
+            for r in engine.batch_query([2, 0, 1], **kwargs)
+        }
+        for source in a:
+            np.testing.assert_array_equal(a[source], b[source])
+
+    def test_per_source_rng_rejects_negative_inputs(self):
+        from repro.api.engine import per_source_rng
+
+        with pytest.raises(ParameterError, match="non-negative"):
+            per_source_rng(-1, 0)
+        with pytest.raises(ParameterError, match="non-negative"):
+            per_source_rng(1, -2)
 
 
 class TestTopK:
@@ -315,7 +414,7 @@ class TestEngineBehaviour:
         # must not be served from the alpha=0.2 index
         assert result.method == "SpeedPPR"
         assert result.alpha == 0.3
-        ref = speed_ppr(graph, 0, alpha=0.3, rng=np.random.default_rng(SEED))
+        ref = speed_ppr(graph, 0, alpha=0.3, rng=per_source_rng(SEED, 0))
         np.testing.assert_array_equal(result.estimate, ref.estimate)
 
     def test_alpha_override_bypasses_cached_bepi_index(self, engine, graph):

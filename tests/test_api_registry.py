@@ -196,6 +196,20 @@ class TestSolve:
         np.testing.assert_array_equal(via_registry.estimate, direct.estimate)
         assert via_registry.method == direct.method == "PowItr"
 
+    def test_registry_seed_matches_engine_seed(self):
+        # One derivation everywhere: registry-direct seeded answers are
+        # byte-identical to the engine's (and hence the serving layer's).
+        from repro.api import PPREngine
+
+        graph = paper_example_graph()
+        direct = solve(graph, 2, method="montecarlo", num_walks=300, seed=11)
+        via_engine = PPREngine(graph, seed=99).query(
+            2, method="montecarlo", num_walks=300, seed=11
+        )
+        np.testing.assert_array_equal(
+            direct.estimate, via_engine.estimate
+        )
+
     def test_seed_makes_stochastic_methods_reproducible(self):
         graph = paper_example_graph()
         first = solve(graph, 0, method="montecarlo", num_walks=500, seed=11)

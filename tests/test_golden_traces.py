@@ -1,0 +1,147 @@
+"""Golden-trace regression tests: every solver vs committed vectors.
+
+A 200-node scale-free graph is committed as an edge list
+(``tests/data/golden/graph_edges.txt``) together with the PPR vector
+each registered solver produces on it under pinned parameters/seeds
+(``tests/data/golden/golden_vectors.npz``).  Kernel refactors that
+change any numeric path — push order, sweep vectorisation, walk
+simulation, index construction — fail here instead of drifting
+silently.
+
+Tolerances are deliberately tight: deterministic solvers must match to
+1e-12 (their float op sequence is part of the contract), stochastic
+solvers likewise because their seeded RNG stream is pinned, and BePI
+gets 1e-8 of slack for the scipy sparse factorisation.
+
+Regenerate after an *intentional* numeric change (then justify the
+diff in review)::
+
+    PYTHONPATH=src python tests/test_golden_traces.py --regenerate
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import solve, solver_names
+from repro.graph.build import from_edges
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "data" / "golden"
+GRAPH_FILE = GOLDEN_DIR / "graph_edges.txt"
+VECTORS_FILE = GOLDEN_DIR / "golden_vectors.npz"
+
+NUM_NODES = 200
+SOURCES = (0, 17)
+
+#: Pinned parameters per registered solver.  Every canonical solver
+#: name must appear here — the coverage test enforces it, so adding a
+#: solver without committing its golden trace fails CI.
+CASES: dict[str, dict] = {
+    "powerpush": {"l1_threshold": 1e-8},
+    "powitr": {"l1_threshold": 1e-8},
+    "fifo-fwdpush": {"l1_threshold": 1e-8},
+    "fwdpush-scheduled": {"r_max": 1e-5},
+    "simfwdpush": {"l1_threshold": 1e-8},
+    "bepi": {"delta": 1e-10},
+    "montecarlo": {"num_walks": 2000, "seed": 11},
+    "speedppr": {"epsilon": 0.4, "seed": 11},
+    "fora": {"epsilon": 0.4, "seed": 11},
+    "resacc": {"epsilon": 0.4, "seed": 11},
+}
+
+#: Comparison tolerance per method (absolute, rtol=0).
+ATOL = {name: 1e-12 for name in CASES}
+ATOL["bepi"] = 1e-8
+
+
+def load_golden_graph():
+    edges = np.loadtxt(GRAPH_FILE, dtype=np.int64)
+    return from_edges(
+        [(int(u), int(v)) for u, v in edges],
+        num_nodes=NUM_NODES,
+        name="golden-200",
+    )
+
+
+def compute_vector(graph, method: str, source: int) -> np.ndarray:
+    return solve(graph, source, method, **CASES[method]).estimate
+
+
+def regenerate() -> None:
+    """Write the graph fixture and all golden vectors (maintainer tool)."""
+    from repro.generators.chung_lu import power_law_digraph
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    graph = power_law_digraph(
+        NUM_NODES, 1400, rng=np.random.default_rng(2021), name="golden-200"
+    )
+    sources_arr, targets_arr = graph.edge_array()
+    np.savetxt(
+        GRAPH_FILE,
+        np.column_stack([sources_arr, targets_arr]),
+        fmt="%d",
+        header="golden 200-node scale-free graph (u v per line)",
+    )
+    graph = load_golden_graph()  # round-trip, exactly what tests will see
+    vectors = {}
+    for method in CASES:
+        for source in SOURCES:
+            vectors[f"{method}__{source}"] = compute_vector(
+                graph, method, source
+            )
+    np.savez_compressed(VECTORS_FILE, **vectors)
+    print(
+        f"wrote {GRAPH_FILE.name} ({graph.num_edges} edges) and "
+        f"{VECTORS_FILE.name} ({len(vectors)} vectors)"
+    )
+
+
+class TestFixtures:
+    def test_fixture_files_committed(self):
+        assert GRAPH_FILE.is_file(), "golden graph fixture missing"
+        assert VECTORS_FILE.is_file(), "golden vectors fixture missing"
+
+    def test_every_registered_solver_has_a_case(self):
+        missing = set(solver_names()) - set(CASES)
+        assert not missing, (
+            f"solvers without golden traces: {sorted(missing)} — add a "
+            f"CASES entry and regenerate the fixture"
+        )
+
+    def test_graph_shape_is_stable(self):
+        graph = load_golden_graph()
+        assert graph.num_nodes == NUM_NODES
+        assert graph.num_edges > 1000
+        assert not graph.has_dead_ends
+
+
+@pytest.mark.parametrize("source", SOURCES)
+@pytest.mark.parametrize("method", sorted(CASES))
+def test_solver_matches_golden_trace(method, source):
+    graph = load_golden_graph()
+    with np.load(VECTORS_FILE) as archive:
+        expected = archive[f"{method}__{source}"]
+    actual = compute_vector(graph, method, source)
+    np.testing.assert_allclose(
+        actual,
+        expected,
+        rtol=0,
+        atol=ATOL[method],
+        err_msg=(
+            f"{method} drifted from its golden trace (source {source}); "
+            f"if the numeric change is intentional, regenerate via "
+            f"'python tests/test_golden_traces.py --regenerate'"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
+        sys.exit(1)

@@ -1,0 +1,290 @@
+"""Tests for the micro-batching scheduler (:mod:`repro.serving.scheduler`).
+
+Two contracts under test: coalescing never changes an answer (batch
+answers are elementwise-equal to sequential ``engine.query`` answers,
+including stochastic methods under a fixed seed), and compatible
+requests genuinely share engine calls.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import PPREngine
+from repro.api.engine import per_source_rng
+from repro.errors import ParameterError, UnknownMethodError
+from repro.graph.build import paper_example_graph
+from repro.serving.scheduler import QueryScheduler
+
+
+@pytest.fixture
+def engine():
+    return PPREngine(paper_example_graph(), alpha=0.2, seed=3)
+
+
+@pytest.fixture
+def manual(engine):
+    """A scheduler driven deterministically (no worker thread)."""
+    scheduler = QueryScheduler(engine, window=0.0, start=False)
+    yield scheduler
+    scheduler.close()
+
+
+class TestSubmitValidation:
+    def test_unknown_method_raises_at_submit(self, manual):
+        with pytest.raises(UnknownMethodError):
+            manual.submit(0, "no-such-method")
+
+    def test_unknown_param_raises_at_submit(self, manual):
+        with pytest.raises(ParameterError, match="does not accept"):
+            manual.submit(0, "powerpush", {"num_walk": 3})
+
+    def test_bad_source_raises_at_submit(self, manual):
+        with pytest.raises(Exception):
+            manual.submit(99, "powerpush")
+
+    def test_incremental_params_validated(self, manual):
+        with pytest.raises(ParameterError, match="incremental"):
+            manual.submit(0, "incremental", {"epsilon": 0.5})
+
+    def test_bad_construction_params(self, engine):
+        with pytest.raises(ParameterError):
+            QueryScheduler(engine, window=-1, start=False)
+        with pytest.raises(ParameterError):
+            QueryScheduler(engine, max_batch=0, start=False)
+
+
+class TestCoalescing:
+    def test_identical_requests_share_one_solve(self, engine, manual):
+        futures = [
+            manual.submit(0, "powerpush", {"l1_threshold": 1e-8})
+            for _ in range(5)
+        ]
+        manual.run_pending()
+        results = [f.result(0) for f in futures]
+        assert manual.stats.engine_calls == 1
+        assert manual.stats.engine_sources == 1  # deduped to one slot
+        assert engine.stats.queries == 1
+        assert all(r.batch_size == 5 for r in results)
+        for served in results[1:]:
+            assert served.result is results[0].result
+
+    def test_compatible_sources_batch_together(self, manual):
+        futures = [
+            manual.submit(s, "powerpush", {"l1_threshold": 1e-8})
+            for s in (0, 1, 2)
+        ]
+        manual.run_pending()
+        [f.result(0) for f in futures]
+        assert manual.stats.engine_calls == 1
+        assert manual.stats.engine_sources == 3
+        assert manual.stats.batching_factor == pytest.approx(3.0)
+
+    def test_incompatible_params_split_groups(self, manual):
+        a = manual.submit(0, "powerpush", {"l1_threshold": 1e-8})
+        b = manual.submit(0, "powerpush", {"l1_threshold": 1e-6})
+        c = manual.submit(0, "powitr", {"l1_threshold": 1e-8})
+        manual.run_pending()
+        for future in (a, b, c):
+            future.result(0)
+        assert manual.stats.engine_calls == 3
+
+    def test_aliases_coalesce_with_canonical_spelling(self, manual):
+        a = manual.submit(0, "powerpush", {"l1_threshold": 1e-8})
+        b = manual.submit(0, "PP", {"l1_threshold": 1e-8})
+        manual.run_pending()
+        assert a.result(0).result is b.result(0).result
+        assert manual.stats.engine_calls == 1
+
+    def test_fresh_requests_are_not_deduped(self, engine, manual):
+        a = manual.submit(0, "montecarlo", {"num_walks": 300}, fresh=True)
+        b = manual.submit(0, "montecarlo", {"num_walks": 300}, fresh=True)
+        manual.run_pending()
+        # both answered by one engine call, but as separate samples
+        assert manual.stats.engine_calls == 1
+        assert manual.stats.engine_sources == 2
+        assert not np.array_equal(
+            a.result(0).result.estimate, b.result(0).result.estimate
+        )
+
+    def test_max_batch_caps_a_dispatch_round(self, engine):
+        scheduler = QueryScheduler(
+            engine, window=0.0, max_batch=2, start=False
+        )
+        futures = [
+            scheduler.submit(s, "powerpush", {"l1_threshold": 1e-8})
+            for s in (0, 1, 2)
+        ]
+        scheduler.run_pending()
+        [f.result(0) for f in futures]
+        assert scheduler.stats.batches == 2
+        scheduler.close()
+
+
+class TestEquivalence:
+    """Coalesced answers == sequential query answers (satellite)."""
+
+    def test_deterministic_batch_matches_sequential(self, engine, manual):
+        futures = [
+            manual.submit(s, "powerpush", {"l1_threshold": 1e-8})
+            for s in (0, 1, 2, 3, 4)
+        ]
+        manual.run_pending()
+        reference = PPREngine(paper_example_graph(), alpha=0.2, seed=3)
+        for source, future in enumerate(futures):
+            expected = reference.query(
+                source, "powerpush", l1_threshold=1e-8
+            )
+            np.testing.assert_array_equal(
+                future.result(0).result.estimate, expected.estimate
+            )
+
+    def test_seeded_stochastic_batch_matches_sequential(self, manual):
+        futures = [
+            manual.submit(s, "montecarlo", {"num_walks": 200, "seed": 11})
+            for s in (2, 0, 4)
+        ]
+        manual.run_pending()
+        reference = PPREngine(paper_example_graph(), alpha=0.2, seed=99)
+        for future, source in zip(futures, (2, 0, 4)):
+            expected = reference.query(
+                source,
+                "montecarlo",
+                num_walks=200,
+                rng=per_source_rng(11, source),
+            )
+            np.testing.assert_array_equal(
+                future.result(0).result.estimate, expected.estimate
+            )
+
+
+class TestFailureIsolation:
+    def test_solve_failure_reaches_the_future_not_the_worker(self, manual):
+        # num_walks=-5 passes name validation but fails in the solver.
+        future = manual.submit(0, "montecarlo", {"num_walks": -5})
+        good = manual.submit(1, "powerpush", {"l1_threshold": 1e-8})
+        manual.run_pending()
+        with pytest.raises(ParameterError):
+            future.result(0)
+        assert good.result(0).result.method == "PowerPush"
+        assert manual.stats.failures == 1
+
+    def test_cancelled_future_does_not_kill_the_worker(self, engine):
+        # A client cancelling its queued future must not take down the
+        # dispatch machinery for everyone else.
+        with QueryScheduler(engine, window=0.05) as scheduler:
+            doomed = scheduler.submit(0, "powerpush", {"l1_threshold": 1e-8})
+            assert doomed.cancel()
+            survivor = scheduler.submit(
+                1, "powerpush", {"l1_threshold": 1e-8}
+            )
+            assert survivor.result(5.0).result.method == "PowerPush"
+            # ...and the scheduler still serves after the cancellation
+            later = scheduler.submit(2, "powerpush", {"l1_threshold": 1e-8})
+            assert later.result(5.0).result.source == 2
+
+    def test_submit_after_close_raises(self, engine):
+        scheduler = QueryScheduler(engine, window=0.0, start=False)
+        scheduler.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            scheduler.submit(0, "powerpush")
+
+
+class TestThreadedWorker:
+    def test_concurrent_submitters_all_resolve(self, engine):
+        with QueryScheduler(engine, window=0.001) as scheduler:
+            results = {}
+            mutex = threading.Lock()
+
+            def client(worker_id: int) -> None:
+                futures = [
+                    scheduler.submit(s, "powerpush", {"l1_threshold": 1e-8})
+                    for s in (0, 1, 2, 3)
+                ]
+                answers = [f.result(5.0) for f in futures]
+                with mutex:
+                    results[worker_id] = answers
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(results) == 6
+        baseline = results[0]
+        for answers in results.values():
+            for mine, reference in zip(answers, baseline):
+                np.testing.assert_array_equal(
+                    mine.result.estimate, reference.result.estimate
+                )
+        assert scheduler.stats.answered == 24
+
+    def test_close_drains_pending_futures(self, engine):
+        scheduler = QueryScheduler(engine, window=0.05)
+        futures = [
+            scheduler.submit(s, "powerpush", {"l1_threshold": 1e-8})
+            for s in (0, 1)
+        ]
+        scheduler.close()  # must not abandon queued requests
+        for future in futures:
+            assert future.result(0).result.method == "PowerPush"
+
+
+# ---------------------------------------------------------------------------
+# Randomized interleavings (satellite: property tests)
+# ---------------------------------------------------------------------------
+
+_requests = st.lists(
+    st.tuples(
+        st.integers(0, 4),  # source
+        st.sampled_from(["powerpush", "montecarlo"]),
+        st.integers(0, 2),  # seed choice for stochastic
+        st.booleans(),  # dispatch between submissions?
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestRandomizedSubmissions:
+    @settings(max_examples=25, deadline=None)
+    @given(requests=_requests)
+    def test_any_interleaving_matches_sequential_answers(self, requests):
+        graph = paper_example_graph()
+        engine = PPREngine(graph, alpha=0.2, seed=3)
+        reference = PPREngine(graph, alpha=0.2, seed=77)
+        scheduler = QueryScheduler(engine, window=0.0, start=False)
+        futures = []
+        for source, method, seed, dispatch_now in requests:
+            if method == "powerpush":
+                params = {"l1_threshold": 1e-7}
+            else:
+                params = {"num_walks": 60, "seed": seed}
+            futures.append((source, method, seed, scheduler.submit(
+                source, method, params
+            )))
+            if dispatch_now:
+                scheduler.run_pending()
+        scheduler.run_pending()
+        for source, method, seed, future in futures:
+            served = future.result(0)
+            if method == "powerpush":
+                expected = reference.query(
+                    source, "powerpush", l1_threshold=1e-7
+                )
+            else:
+                expected = reference.query(
+                    source,
+                    "montecarlo",
+                    num_walks=60,
+                    rng=per_source_rng(seed, source),
+                )
+            np.testing.assert_array_equal(
+                served.result.estimate, expected.estimate
+            )
+        scheduler.close()

@@ -1,0 +1,209 @@
+"""Concurrency stress: readers hammer the server while a writer mutates.
+
+The hard serving invariant (extending the engine-level guarantees of
+``tests/test_engine_dynamic.py`` across threads): **no query is ever
+answered from a stale-version cache or index**.  Checked two ways:
+
+* *bracketing* — every served answer's version stamp lies between the
+  graph version observed before submit and after completion, so the
+  answer was computed at a version that was current during the
+  request's lifetime;
+* *replay* — after the run, the graph is reconstructed at every
+  version from the recorded update log and each answer is recomputed
+  from scratch; the served vector must be byte-identical to the
+  reconstruction's (for the deterministic method) — a cached vector
+  from version ``v-1`` served at ``v``, or a stale walk index, cannot
+  survive this.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import PPREngine
+from repro.core.powerpush import power_push
+from repro.generators.rmat import rmat_digraph
+from repro.graph.dynamic import DynamicGraph, sample_edge_update
+from repro.serving import EngineServer
+
+BASE_SEED = 17
+L1 = 1e-6
+
+
+def make_base():
+    return rmat_digraph(
+        9, 3000, rng=np.random.default_rng(BASE_SEED), name="stress"
+    )
+
+
+def rebuild_at(base, update_log, version):
+    """The logical graph at ``version``, replayed from the update log."""
+    dyn = DynamicGraph(base)
+    for recorded_version, update in update_log:
+        if recorded_version > version:
+            break
+        dyn.apply_updates([update])
+    assert dyn.version == version
+    return dyn.snapshot()
+
+
+@pytest.mark.slow
+def test_readers_never_see_stale_answers_under_writer_pressure():
+    dyn = DynamicGraph(make_base())
+    base = dyn.base
+    update_log: list[tuple[int, tuple[str, int, int]]] = []
+    records = []
+    records_mutex = threading.Lock()
+    errors: list[BaseException] = []
+    stop_writer = threading.Event()
+
+    with EngineServer(dyn, alpha=0.2, seed=7, window=0.001) as server:
+
+        def writer() -> None:
+            rng = np.random.default_rng(99)
+            try:
+                for _ in range(12):
+                    if stop_writer.wait(0.004):
+                        return
+                    update = sample_edge_update(dyn, rng)
+                    version = server.apply_updates([update])
+                    update_log.append((version, update))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def reader(worker_id: int) -> None:
+            try:
+                for i in range(25):
+                    source = (worker_id * 7 + i) % 10
+                    v_before = server.graph_version
+                    served = server.query(
+                        source, "powerpush", l1_threshold=L1, timeout=30.0
+                    )
+                    v_after = server.graph_version
+                    with records_mutex:
+                        records.append(
+                            (source, v_before, served.version, v_after,
+                             served.result.estimate)
+                        )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads[1:]:
+            thread.join()
+        stop_writer.set()
+        threads[0].join()
+        stats = server.stats()
+
+    assert not errors, errors
+    assert len(records) == 100
+
+    # -- bracketing: the served version was current during the request
+    for source, v_before, v_served, v_after, _ in records:
+        assert v_before <= v_served <= v_after, (
+            f"source {source}: served version {v_served} outside "
+            f"[{v_before}, {v_after}]"
+        )
+
+    # -- replay: byte-identical to a from-scratch solve at that version
+    snapshots = {
+        version: rebuild_at(base, update_log, version)
+        for version in {r[2] for r in records}
+    }
+    reference: dict[tuple[int, int], np.ndarray] = {}
+    for source, _, v_served, _, estimate in records:
+        key = (v_served, source)
+        if key not in reference:
+            reference[key] = power_push(
+                snapshots[v_served], source, l1_threshold=L1, alpha=0.2
+            ).estimate
+        np.testing.assert_array_equal(
+            estimate,
+            reference[key],
+            err_msg=f"stale answer for source {source} at version {v_served}",
+        )
+
+    # The run must actually have exercised the machinery it stresses.
+    assert update_log, "writer thread applied no updates"
+    assert stats["cache"]["hits"] + stats["cache_hits_at_submit"] > 0
+    assert stats["cache"]["invalidations"] > 0
+
+
+@pytest.mark.slow
+def test_stale_walk_index_never_serves_a_seeded_speedppr_query():
+    """Same invariant for index-backed queries: SpeedPPR answers are a
+    deterministic function of (graph version, engine seed, query seed),
+    so a reconstruction with a fresh engine catches any stale index."""
+    dyn = DynamicGraph(make_base())
+    base = dyn.base
+    update_log: list[tuple[int, tuple[str, int, int]]] = []
+    records = []
+    records_mutex = threading.Lock()
+    errors: list[BaseException] = []
+
+    with EngineServer(dyn, alpha=0.2, seed=7, window=0.001) as server:
+
+        def writer() -> None:
+            rng = np.random.default_rng(5)
+            try:
+                for _ in range(6):
+                    update = sample_edge_update(dyn, rng)
+                    version = server.apply_updates([update])
+                    update_log.append((version, update))
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def reader(worker_id: int) -> None:
+            try:
+                for i in range(8):
+                    source = (worker_id + 3 * i) % 8
+                    served = server.query(
+                        source,
+                        "speedppr",
+                        epsilon=0.5,
+                        seed=13,
+                        timeout=30.0,
+                    )
+                    with records_mutex:
+                        records.append(
+                            (source, served.version, served.result.estimate)
+                        )
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader, args=(w,)) for w in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    assert not errors, errors
+    snapshots = {
+        version: rebuild_at(base, update_log, version)
+        for version in {r[1] for r in records}
+    }
+    engines = {
+        version: PPREngine(snapshot, alpha=0.2, seed=7)
+        for version, snapshot in snapshots.items()
+    }
+    reference: dict[tuple[int, int], np.ndarray] = {}
+    for source, version, estimate in records:
+        key = (version, source)
+        if key not in reference:
+            reference[key] = engines[version].query(
+                source, "speedppr", epsilon=0.5, seed=13
+            ).estimate
+        np.testing.assert_array_equal(
+            estimate,
+            reference[key],
+            err_msg=(
+                f"stale index answer for source {source} at version {version}"
+            ),
+        )

@@ -1,0 +1,260 @@
+"""Tests for the workload generator and the load/soak harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.generators.rmat import rmat_digraph
+from repro.graph.dynamic import DynamicGraph
+from repro.serving import WorkloadGenerator, run_loadtest
+
+
+def make_static():
+    return rmat_digraph(
+        9, 3000, rng=np.random.default_rng(1), name="wl-static"
+    )
+
+
+def make_dynamic():
+    return DynamicGraph(
+        rmat_digraph(9, 3000, rng=np.random.default_rng(1), name="wl-dyn")
+    )
+
+
+class TestWorkloadGenerator:
+    def test_deterministic_per_seed(self):
+        a = WorkloadGenerator(512, seed=5).generate(50)
+        b = WorkloadGenerator(512, seed=5).generate(50)
+        assert a.operations == b.operations
+        c = WorkloadGenerator(512, seed=6).generate(50)
+        assert a.operations != c.operations
+
+    def test_read_only_by_default(self):
+        workload = WorkloadGenerator(512, seed=1).generate(40)
+        assert workload.num_updates == 0
+        assert workload.num_queries == 40
+
+    def test_read_write_mix(self):
+        workload = WorkloadGenerator(
+            512, read_fraction=0.5, seed=1
+        ).generate(200)
+        assert workload.num_updates > 40
+        assert workload.num_queries > 40
+        for op in workload.operations:
+            assert (op.kind == "update") == (op.source == -1)
+
+    def test_zipf_skew_concentrates_the_head(self):
+        flat = WorkloadGenerator(
+            512, num_sources=16, zipf_exponent=0.0, seed=2
+        ).generate(800)
+        skewed = WorkloadGenerator(
+            512, num_sources=16, zipf_exponent=1.5, seed=2
+        ).generate(800)
+
+        def top_share(workload):
+            counts = {}
+            for op in workload.queries():
+                counts[op.source] = counts.get(op.source, 0) + 1
+            return max(counts.values()) / workload.num_queries
+
+        assert top_share(skewed) > 2 * top_share(flat)
+
+    def test_sources_stay_in_hot_set(self):
+        workload = WorkloadGenerator(64, num_sources=4, seed=3).generate(100)
+        assert workload.distinct_sources <= 4
+        assert all(
+            0 <= op.source < 64 for op in workload.queries()
+        )
+
+    def test_open_loop_arrivals_are_increasing(self):
+        workload = WorkloadGenerator(
+            64, arrival="open", arrival_rate=100.0, seed=4
+        ).generate(50)
+        arrivals = [op.at for op in workload.operations]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+        assert arrivals[-1] > 0.1  # ~50 ops at 100/s
+
+    def test_closed_loop_has_no_timestamps(self):
+        workload = WorkloadGenerator(64, seed=4).generate(10)
+        assert all(op.at == 0.0 for op in workload.operations)
+
+    def test_update_rng_reproducible(self):
+        workload = WorkloadGenerator(64, seed=9).generate(5)
+        a = workload.update_rng().integers(0, 1000, 4)
+        b = workload.update_rng().integers(0, 1000, 4)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_sources": 0},
+            {"num_sources": 100},
+            {"zipf_exponent": -0.1},
+            {"read_fraction": 1.5},
+            {"arrival": "poisson"},
+            {"arrival_rate": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            WorkloadGenerator(64, **kwargs)
+
+    def test_generate_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            WorkloadGenerator(64).generate(0)
+
+    def test_describe_mentions_shape(self):
+        workload = WorkloadGenerator(
+            64, num_sources=8, zipf_exponent=1.3, seed=0
+        ).generate(20)
+        text = workload.describe()
+        assert "20 ops" in text and "s=1.3" in text and "8 hot" in text
+
+
+class TestRunLoadtest:
+    def test_read_only_closed_loop_is_identical_and_measured(self):
+        workload = WorkloadGenerator(
+            make_static().num_nodes, num_sources=12, zipf_exponent=1.2, seed=5
+        ).generate(60)
+        report = run_loadtest(
+            make_static,
+            workload,
+            method="powerpush",
+            params={"l1_threshold": 1e-6},
+            concurrency=3,
+            window=0.001,
+            seed=5,
+        )
+        assert report.identical is True
+        assert report.served.queries == 60
+        assert report.serial.queries == 60
+        assert report.served.throughput_qps > 0
+        assert report.speedup > 0
+        assert 0.0 <= report.cache_hit_rate <= 1.0
+        assert report.batching_factor >= 1.0
+        payload = report.to_dict()
+        assert payload["identical"] is True
+        assert payload["served"]["p99_ms"] >= payload["served"]["p50_ms"]
+        assert "speedup" in report.render() or "speedup:" in report.render()
+
+    def test_open_loop_runs(self):
+        workload = WorkloadGenerator(
+            make_static().num_nodes,
+            num_sources=8,
+            arrival="open",
+            arrival_rate=3000.0,
+            seed=6,
+        ).generate(40)
+        report = run_loadtest(
+            make_static,
+            workload,
+            method="powerpush",
+            params={"l1_threshold": 1e-6},
+            concurrency=1,
+            window=0.001,
+            seed=6,
+        )
+        assert report.identical is True
+        assert report.served.queries == 40
+
+    def test_soak_with_writes_completes_consistently(self):
+        workload = WorkloadGenerator(
+            make_dynamic().num_nodes,
+            num_sources=10,
+            read_fraction=0.85,
+            seed=7,
+        ).generate(60)
+        assert workload.num_updates > 0
+        report = run_loadtest(
+            make_dynamic,
+            workload,
+            method="powerpush",
+            params={"l1_threshold": 1e-6},
+            concurrency=3,
+            window=0.001,
+            seed=7,
+        )
+        # writes make byte-comparison meaningless, reported as None
+        assert report.identical is None
+        assert report.served.updates == workload.num_updates
+        stats = report.server_stats
+        assert stats["graph_version"] == workload.num_updates
+
+    def test_soak_applies_the_same_updates_as_serial(self):
+        """Both runs must sample/apply the identical update stream
+        (claim-ordered), so the two final graphs match exactly."""
+        workload = WorkloadGenerator(
+            make_dynamic().num_nodes,
+            num_sources=10,
+            read_fraction=0.7,
+            seed=11,
+        ).generate(60)
+        graphs = []
+
+        def tracked_make_dynamic():
+            graph = make_dynamic()
+            graphs.append(graph)
+            return graph
+
+        run_loadtest(
+            tracked_make_dynamic,
+            workload,
+            method="powerpush",
+            params={"l1_threshold": 1e-6},
+            concurrency=4,
+            window=0.001,
+            seed=11,
+        )
+        served_graph, serial_graph = graphs
+        assert served_graph.version == serial_graph.version > 0
+        a_sources, a_targets = served_graph.snapshot().edge_array()
+        b_sources, b_targets = serial_graph.snapshot().edge_array()
+        np.testing.assert_array_equal(a_sources, b_sources)
+        np.testing.assert_array_equal(a_targets, b_targets)
+
+    def test_stochastic_method_reports_identical_none(self):
+        workload = WorkloadGenerator(
+            make_static().num_nodes, num_sources=6, seed=8
+        ).generate(20)
+        report = run_loadtest(
+            make_static,
+            workload,
+            method="montecarlo",
+            params={"num_walks": 100, "seed": 3},
+            concurrency=2,
+            seed=8,
+        )
+        assert report.identical is None
+        assert report.method == "montecarlo"
+
+    def test_updates_require_dynamic_graph(self):
+        workload = WorkloadGenerator(
+            make_static().num_nodes, read_fraction=0.5, seed=9
+        ).generate(30)
+        with pytest.raises(ParameterError, match="DynamicGraph"):
+            run_loadtest(make_static, workload, concurrency=1)
+
+    def test_rejects_bad_concurrency(self):
+        workload = WorkloadGenerator(64, seed=0).generate(5)
+        with pytest.raises(ParameterError, match="concurrency"):
+            run_loadtest(make_static, workload, concurrency=0)
+
+    def test_json_roundtrip(self, tmp_path):
+        workload = WorkloadGenerator(
+            make_static().num_nodes, num_sources=6, seed=10
+        ).generate(20)
+        report = run_loadtest(
+            make_static,
+            workload,
+            method="powerpush",
+            params={"l1_threshold": 1e-6},
+            concurrency=2,
+            seed=10,
+        )
+        path = report.write_json(tmp_path / "bench" / "serving.json")
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["method"] == "powerpush"
+        assert payload["served"]["queries"] == 20
+        assert payload["speedup"] == pytest.approx(report.speedup)
