@@ -73,6 +73,7 @@ from repro.core import (
     pagerank,
     power_iteration,
     power_push,
+    power_push_block,
     preference_pagerank,
     refine_to_r_max,
     simultaneous_forward_push,
@@ -164,6 +165,7 @@ __all__ = [
     "simultaneous_forward_push",
     "fifo_forward_push",
     "power_push",
+    "power_push_block",
     "PowerPushConfig",
     "refine_to_r_max",
     "default_l1_threshold",

@@ -30,6 +30,7 @@ from repro.api.registry import (
     register_solver,
     resolve_method,
     solve,
+    solve_block,
     solver_names,
     solver_specs,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "solver_names",
     "solver_specs",
     "solve",
+    "solve_block",
     "build_speedppr_index",
     "build_fora_index",
     "UnknownMethodError",

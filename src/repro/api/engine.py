@@ -284,6 +284,9 @@ class PPREngine:
         }
         self._trackers: dict[int, IncrementalPPR] = {}
         self.stats = EngineStats()
+        #: batches answered by a multi-source block solve (tests and
+        #: the serving layer assert coalesced windows land here)
+        self.block_batches = 0
         self._query_counter = 0
         #: serialises every mutation of engine state (index caches,
         #: trackers, stats, counter) so concurrent queries are safe;
@@ -591,15 +594,28 @@ class PPREngine:
         self,
         sources: Iterable[int],
         method: str = "powerpush",
+        *,
+        block: bool | None = None,
         **params: Any,
     ) -> list[PPRResult]:
         """Answer one query per source, in order, with shared state.
 
         Results align with ``sources`` (``results[i].source ==
         sources[i]``).  Any required index is built once up front and
-        shared; plain Monte-Carlo runs all sources' walks through one
-        vectorised multi-source simulation when the graph allows it,
-        and every other method loops.
+        shared.  Genuinely multi-source paths are picked automatically:
+        methods with a registered block kernel (PowerPush) answer two
+        or more sources in **one block solve** — a single adjacency
+        scan amortised over the whole batch, with every row
+        element-wise identical to its independent solve — and plain
+        Monte-Carlo runs all sources' walks through one vectorised
+        simulation when the graph allows it.  Everything else loops.
+
+        ``block`` overrides the block auto-selection: ``False`` forces
+        the per-source loop (benchmarks use this as the baseline),
+        ``True`` insists on the block path and raises
+        :class:`~repro.errors.ParameterError` when the method has no
+        block kernel or the parameters (faithful mode, traces) cannot
+        be batched.
 
         A single ``seed`` must not replay the same walk stream for
         every source, so seeded batches give each source the stream
@@ -616,22 +632,86 @@ class PPREngine:
         """
         sources = [int(s) for s in sources]
         if is_incremental_method(method):
+            if block:
+                raise ParameterError(
+                    "method 'incremental' repairs per-engine tracker state "
+                    "and has no block solver"
+                )
             return [
                 self.query(source, method, **params) for source in sources
             ]
         spec, merged = resolve_method(method)
         merged.update(params)
         spec.validate_params(merged)
+        # Monte-Carlo's vectorised multi-source simulation is its block
+        # path in spirit: block=False forces the per-source loop here
+        # too, and block=True falls through to the supports_block check
+        # below (montecarlo registers no block kernel), so the override
+        # behaves identically regardless of batch composition.
         if (
-            spec.name == "montecarlo"
+            block is None
+            and spec.name == "montecarlo"
             and not self.graph.has_dead_ends
             and merged.get("rng") is None
             and len(sources) > 1
         ):
             return self._batch_monte_carlo(sources, merged)
+        batchable = self._block_batchable(merged)
+        if block is None:
+            block = (
+                spec.supports_block and len(sources) >= 2 and batchable
+            )
+        elif block:
+            if not spec.supports_block:
+                raise ParameterError(
+                    f"method {spec.name!r} has no block solver; drop "
+                    f"block=True to loop per source"
+                )
+            if not batchable:
+                raise ParameterError(
+                    "these parameters cannot be batched (the block solver "
+                    "is vectorised-only and does not record traces); drop "
+                    "block=True to loop per source"
+                )
+        if block:
+            return self._batch_block(sources, spec, merged)
         # query() itself resolves an explicit seed through
         # per_source_rng, so looping preserves the per-source streams.
         return [self.query(source, method, **merged) for source in sources]
+
+    @staticmethod
+    def _block_batchable(merged: Mapping[str, Any]) -> bool:
+        """Whether a request's parameters can ride a block solve.
+
+        The block kernels are the vectorised implementation and carry
+        no per-solve trace state, so faithful-mode and traced requests
+        must loop.
+        """
+        return (
+            merged.get("mode", "auto") in ("auto", "vectorized")
+            and merged.get("trace") is None
+        )
+
+    def _batch_block(
+        self,
+        sources: Sequence[int],
+        spec: SolverSpec,
+        merged: dict[str, Any],
+    ) -> list[PPRResult]:
+        """Answer a whole batch through the method's block kernel."""
+        if spec.accepts("alpha"):
+            merged.setdefault("alpha", self.alpha)
+        if spec.accepts("dead_end_policy"):
+            merged.setdefault("dead_end_policy", self.dead_end_policy)
+        with self._lock:
+            self._sync_caches()
+            self._query_counter += 1
+            self.block_batches += 1
+        results = spec.solve_block(self.graph, sources, params=merged)
+        with self._lock:
+            for result in results:
+                self.stats.record(result)
+        return results
 
     def top_k(
         self,

@@ -44,7 +44,7 @@ from repro.bepi.solver import bepi_query
 from repro.core.fifo_fwdpush import fifo_forward_push, r_max_for_l1_threshold
 from repro.core.fwdpush import forward_push
 from repro.core.power_iteration import power_iteration
-from repro.core.powerpush import power_push
+from repro.core.powerpush import power_push, power_push_block
 from repro.core.sim_fwdpush import simultaneous_forward_push
 from repro.core.speedppr import speed_ppr
 from repro.core.result import PPRResult
@@ -74,6 +74,7 @@ __all__ = [
     "solver_names",
     "solver_specs",
     "solve",
+    "solve_block",
     "build_speedppr_index",
     "build_fora_index",
 ]
@@ -182,6 +183,14 @@ class SolverSpec:
         The :class:`~repro.api.engine.PPREngine` should serve this
         method from its cached walk index unless told otherwise
         (SpeedPPR's eps-independent index makes this free).
+    block_fn:
+        Optional multi-source adapter
+        ``block_fn(graph, sources, **params) -> list[PPRResult]`` that
+        answers a whole batch in one block solve (one adjacency scan
+        amortised over all sources).  Solvers that register one promise
+        the block answers are element-wise identical to per-source
+        ``fn`` calls; :meth:`solve_block` falls back to a per-source
+        loop when absent.
     """
 
     name: str
@@ -194,6 +203,9 @@ class SolverSpec:
     needs_walk_index: bool = False
     needs_precomputation: bool = False
     index_by_default: bool = False
+    block_fn: Callable[..., list] | None = field(
+        repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if self.kind not in ("exact", "approx"):
@@ -259,6 +271,35 @@ class SolverSpec:
                     else np.random.default_rng()
                 )
         return self.fn(graph, source, **merged)
+
+    @property
+    def supports_block(self) -> bool:
+        """Whether a genuinely multi-source ``block_fn`` is registered."""
+        return self.block_fn is not None
+
+    def solve_block(
+        self,
+        graph: DiGraph,
+        sources,
+        *,
+        params: Mapping[str, Any] | None = None,
+        **kwargs: Any,
+    ) -> list[PPRResult]:
+        """Answer one query per source, through the block path if any.
+
+        Results align with ``sources``.  With a registered ``block_fn``
+        the whole batch is one block solve; otherwise each source is
+        answered by an independent :meth:`solve` — either way the
+        answers are element-wise what per-source calls produce, so
+        callers can batch opportunistically.
+        """
+        merged: dict[str, Any] = dict(params or {})
+        merged.update(kwargs)
+        self.validate_params(merged)
+        sources = [int(s) for s in sources]
+        if self.block_fn is None:
+            return [self.solve(graph, s, params=merged) for s in sources]
+        return self.block_fn(graph, sources, **merged)
 
 
 # ---------------------------------------------------------------------------
@@ -368,6 +409,24 @@ def solve(
     spec, implied = resolve_method(method)
     implied.update(params)
     return spec.solve(graph, source, params=implied)
+
+
+def solve_block(
+    graph: DiGraph,
+    sources,
+    method: str = "powerpush",
+    **params: Any,
+) -> list[PPRResult]:
+    """One-shot multi-source dispatch (see :meth:`SolverSpec.solve_block`).
+
+    Methods with a registered block kernel (PowerPush) answer the whole
+    batch in one block solve; the rest loop — results are element-wise
+    identical either way.  Engine users get this automatically through
+    :meth:`~repro.api.engine.PPREngine.batch_query`.
+    """
+    spec, implied = resolve_method(method)
+    implied.update(params)
+    return spec.solve_block(graph, sources, params=implied)
 
 
 # ---------------------------------------------------------------------------
@@ -507,6 +566,35 @@ def _fora_index_for(graph: DiGraph, params: dict) -> WalkIndex:
     )
 
 
+def _solve_powerpush_block(
+    graph: DiGraph,
+    sources,
+    *,
+    mode: str = "auto",
+    trace=None,
+    **params,
+) -> list[PPRResult]:
+    """Block adapter for PowerPush: unified schema -> block signature.
+
+    The block kernels are the vectorised implementation, so the
+    faithful scalar mode cannot be batched; traces are per-solve state
+    and are likewise unsupported — callers wanting either fall back to
+    per-source solves (the engine's ``batch_query`` does this
+    automatically).
+    """
+    if mode not in ("auto", "vectorized"):
+        raise ParameterError(
+            f"power_push_block is vectorised-only; mode {mode!r} is not "
+            f"batchable (run per-source solves instead)"
+        )
+    if trace is not None:
+        raise ParameterError(
+            "power_push_block does not support convergence traces; run "
+            "per-source solves to trace"
+        )
+    return power_push_block(graph, sources, **params)
+
+
 def _solve_bepi(
     graph: DiGraph,
     source: int,
@@ -560,6 +648,7 @@ def _register_builtin_solvers() -> None:
             summary="PowerPush (Algorithm 3): power iteration with forward push",
             params=(*_EXACT_COMMON, "config", "mode"),
             fn=power_push,
+            block_fn=_solve_powerpush_block,
         )
     )
     register_solver(

@@ -19,19 +19,58 @@ chooses automatically using the same kind of threshold PowerPush uses.
 All kernels perform *simultaneous* pushes: contributions are computed
 from the residues at entry.  They mutate the :class:`PushState` in
 place and keep its incremental ``r_sum`` and counters up to date.
+
+Block (multi-source) kernels and their cost model
+-------------------------------------------------
+Each kernel has a block variant operating on a
+:class:`~repro.core.residues.BlockPushState` with ``B`` residue rows.
+Amortising the adjacency scan over simultaneous sources changes the
+constants, not the asymptotics:
+
+* :func:`block_global_sweep` is one sparse *mat-mat* ``P^T @ R^T``
+  instead of ``B`` mat-vecs.  The ``O(m)`` pass over the CSR arrays —
+  the memory-bound part — is paid **once** for all ``B`` rows; each
+  nonzero touched streams ``B`` contiguous residue values, so the cost
+  is ``O(m + m·B)`` flops behind a single ``O(m)`` index scan instead
+  of ``B`` separate scans.
+* :func:`block_frontier_push` gathers the adjacency ranges of the
+  **union** frontier once (``O(sum of union degrees)``) and scatters
+  all rows through one flat 2-D ``bincount`` over ``row * n + target``
+  indexes.  Rows pay only for their *own* active nodes' shares; nodes
+  active in no row contribute exact ``+0.0`` terms, which keeps every
+  row bitwise-identical to an independent single-source push while the
+  index arithmetic is shared.
+* :func:`block_sweep_active` applies the global/local switch *per
+  row*: hot rows (wide frontiers) join the mat-mat scan while cold
+  rows (narrow frontiers) join the union gather — the paper's density
+  trade-off, decided independently for every source in the block.
+
+Scratch buffers: the frontier kernels accept an optional
+:class:`~repro.core.workspace.Workspace`; callers that push in a loop
+(the solvers) thread one through so the frontier-sized temporaries are
+reused instead of reallocated every call.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.residues import PushState
+from repro.core.residues import BlockPushState, PushState
+from repro.core.workspace import Workspace
+
+try:  # pragma: no cover - import guard for exotic scipy builds
+    from scipy.sparse._sparsetools import csr_matvecs as _csr_matvecs
+except ImportError:  # pragma: no cover
+    _csr_matvecs = None
 
 __all__ = [
     "frontier_edge_targets",
     "global_sweep",
     "frontier_push",
     "sweep_active",
+    "block_global_sweep",
+    "block_frontier_push",
+    "block_sweep_active",
 ]
 
 # Fraction of all nodes above which `sweep_active` abandons the
@@ -41,7 +80,7 @@ DENSE_SWEEP_FRACTION = 0.25
 
 
 def frontier_edge_targets(
-    graph, nodes: np.ndarray
+    graph, nodes: np.ndarray, *, workspace: Workspace | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Concatenate the out-adjacency lists of ``nodes``.
 
@@ -50,6 +89,14 @@ def frontier_edge_targets(
     holds each node's out-degree.  This is the vectorised "multi-range
     gather" that replaces the per-node random access of the scalar push
     loop.
+
+    The gather positions are built by an in-place boundary-delta cumsum
+    (first element of each range, ``+1`` within a range) instead of the
+    old ``np.repeat`` + ``np.arange`` construction, which materialised
+    three extra ``O(total)`` temporaries on every call.  With a
+    ``workspace`` the position and target arrays are pooled scratch
+    buffers — the returned ``targets`` is then only valid until the
+    next workspace request, so consume it before pushing again.
     """
     indptr = graph.out_indptr
     starts = indptr[nodes]
@@ -57,11 +104,33 @@ def frontier_edge_targets(
     total = int(counts.sum())
     if total == 0:
         return np.empty(0, dtype=graph.out_indices.dtype), counts
-    offsets = np.empty(counts.shape[0], dtype=np.int64)
-    offsets[0] = 0
-    np.cumsum(counts[:-1], out=offsets[1:])
-    positions = np.repeat(starts - offsets, counts) + np.arange(total)
-    return graph.out_indices[positions], counts
+
+    if workspace is not None:
+        positions = workspace.buffer("gather_positions", total, np.int64)
+    else:
+        positions = np.empty(total, dtype=np.int64)
+    live = counts > 0
+    starts_live = starts[live]
+    offsets_live = np.empty(starts_live.shape[0], dtype=np.int64)
+    offsets_live[0] = 0
+    np.cumsum(counts[live][:-1], out=offsets_live[1:])
+    # positions = cumsum of [start_0, 1, 1, ..., jump_1, 1, 1, ...]
+    # where jump_k re-bases the running value onto range k's start.
+    positions[:] = 1
+    positions[0] = starts_live[0]
+    if starts_live.shape[0] > 1:
+        range_ends = starts_live[:-1] + np.diff(offsets_live)
+        positions[offsets_live[1:]] = starts_live[1:] - range_ends + 1
+    np.cumsum(positions, out=positions)
+
+    if workspace is not None:
+        targets = workspace.buffer(
+            "gather_targets", total, graph.out_indices.dtype
+        )
+        np.take(graph.out_indices, positions, out=targets)
+    else:
+        targets = graph.out_indices[positions]
+    return targets, counts
 
 
 def global_sweep(
@@ -109,7 +178,12 @@ def global_sweep(
     state.refresh_r_sum()
 
 
-def frontier_push(state: PushState, nodes: np.ndarray) -> None:
+def frontier_push(
+    state: PushState,
+    nodes: np.ndarray,
+    *,
+    workspace: Workspace | None = None,
+) -> None:
     """Simultaneously push exactly ``nodes`` (gather/scatter path).
 
     Contributions are based on the residues at entry; the pushed nodes'
@@ -125,7 +199,7 @@ def frontier_push(state: PushState, nodes: np.ndarray) -> None:
     state.reserve[nodes] += alpha * r_pushed
     state.residue[nodes] = 0.0
 
-    targets, counts = frontier_edge_targets(graph, nodes)
+    targets, counts = frontier_edge_targets(graph, nodes, workspace=workspace)
     live = counts > 0
     if targets.shape[0]:
         shares = np.zeros(nodes.shape[0], dtype=np.float64)
@@ -150,6 +224,7 @@ def sweep_active(
     *,
     dense_fraction: float = DENSE_SWEEP_FRACTION,
     threshold_vec: np.ndarray | None = None,
+    workspace: Workspace | None = None,
 ) -> int:
     """Push all currently-active nodes once; return how many were pushed.
 
@@ -180,7 +255,7 @@ def sweep_active(
         return 0
 
     if num_active <= dense_fraction * graph.num_nodes:
-        frontier_push(state, np.flatnonzero(active))
+        frontier_push(state, np.flatnonzero(active), workspace=workspace)
     else:
         global_sweep(state, count_all_edges=False)
     return num_active
@@ -194,6 +269,336 @@ def _apply_dead_end_mass(state: PushState, dead_mass: float) -> None:
         state.residue[state.source] += dead_mass
     elif state.dead_end_policy == "uniform-teleport":
         state.residue += dead_mass / state.graph.num_nodes
+    else:  # self-loop handled structurally; mass cannot appear here
+        raise AssertionError(
+            "structural self-loop graphs cannot emit dead-end mass"
+        )
+
+
+# ----------------------------------------------------------------------
+# Block (multi-source) kernels
+# ----------------------------------------------------------------------
+# Bitwise-equality discipline: every per-row float value below is
+# produced by the same operation sequence the single-source kernels
+# apply — compact gathers of a row's own active nodes for the sums
+# (never masked sums, whose pairwise grouping differs), elementwise
+# broadcasts for the products, and scatters whose only extra terms are
+# exact ``+0.0`` additions.  The sparse mat-mat accumulates each output
+# column over the same nonzeros in the same order as the mat-vec, so it
+# is bitwise-identical per column.  The equivalence tests pin all of
+# this down.
+
+
+def _scratch(
+    workspace: Workspace | None, key: str, size: int, dtype
+) -> np.ndarray:
+    """A pooled buffer when a workspace is threaded, else a fresh one."""
+    if workspace is not None:
+        return workspace.buffer(key, size, dtype)
+    return np.empty(size, dtype=dtype)
+
+
+def _is_identity(rows: np.ndarray, num_rows: int) -> bool:
+    """Whether ``rows`` is exactly ``0..num_rows-1`` in order.
+
+    The O(B) check guards the in-place whole-block fast paths: a
+    permuted (or duplicated) full-size ``rows`` must take the general
+    gather path, otherwise per-row quantities would be routed to the
+    wrong rows.
+    """
+    return rows.shape[0] == num_rows and bool(
+        (rows == np.arange(num_rows)).all()
+    )
+
+
+def _block_propagate(
+    graph, scaled: np.ndarray, workspace: Workspace | None
+) -> np.ndarray:
+    """``P^T @ scaled.T`` into pooled buffers; returns the ``(n, R)`` result.
+
+    Calls the same scipy CSR kernel ``P^T.dot`` dispatches to
+    (``csr_matvecs`` accumulates each output column over the nonzeros
+    in mat-vec order, so columns are bitwise mat-vec results), but
+    skips the dispatch layers and reuses the transpose/result scratch
+    — at serving-size graphs those per-call costs rival the numeric
+    work.  The result is only valid until the next call with the same
+    workspace.
+    """
+    matrix = graph.transition_matrix_transpose()
+    num_rows, n = scaled.shape
+    if _csr_matvecs is None or workspace is None:
+        return matrix.dot(np.ascontiguousarray(scaled.T))
+    operand = workspace.buffer("matmat_in", n * num_rows).reshape(n, num_rows)
+    operand[:] = scaled.T
+    moved = workspace.buffer("matmat_out", n * num_rows).reshape(n, num_rows)
+    moved[:] = 0.0
+    _csr_matvecs(
+        n,
+        n,
+        num_rows,
+        matrix.indptr,
+        matrix.indices,
+        matrix.data,
+        operand.reshape(-1),
+        moved.reshape(-1),
+    )
+    return moved
+
+
+def block_global_sweep(
+    state: BlockPushState,
+    rows: np.ndarray,
+    *,
+    count_all_edges: bool = False,
+    workspace: Workspace | None = None,
+) -> None:
+    """One Power-Iteration step for every row in ``rows`` at once.
+
+    One sparse mat-mat with the cached ``P^T`` replaces ``len(rows)``
+    mat-vecs: the CSR index scan — the memory-bound part of a sweep —
+    is paid once for the whole block.
+    """
+    graph = state.graph
+    alpha = state.alpha
+    # Sweeping the whole block in order (the common lockstep case)
+    # works on the matrices in place; a strict subset — or a permuted
+    # full set — pays one gather/scatter pair.
+    whole_block = _is_identity(rows, state.num_rows)
+    r_block = state.residue if whole_block else state.residue[rows]
+
+    if whole_block:
+        state.reserve += alpha * r_block
+    else:
+        state.reserve[rows] += alpha * r_block
+    scaled = (1.0 - alpha) * r_block
+    # One O(m) scan of the CSR arrays serves every row: the mat-mat
+    # streams each nonzero's len(rows) right-hand values contiguously,
+    # and the per-column accumulation order matches the mat-vec's, so
+    # each row lands bitwise where its own mat-vec would.
+    moved = _block_propagate(graph, scaled, workspace)
+
+    dead = graph.dead_ends
+    dead_masses = None
+    if dead.shape[0]:
+        # C-contiguous (R, D) compact gather (np.take; the plain
+        # ``[:, dead]`` fancy index yields a transposed buffer whose
+        # strided rows reduce *sequentially*, not pairwise): each row
+        # of the row-wise reduction is then the same pairwise sum over
+        # the same 1-D values the single-source kernel reduces.
+        dead_masses = (1.0 - alpha) * np.take(r_block, dead, axis=1).sum(
+            axis=1
+        )
+
+    if count_all_edges:
+        state.count_bulk_pushes(rows, graph.num_nodes, graph.num_edges)
+    else:
+        # Billing is integer arithmetic — vectorising it across rows is
+        # exact by construction.
+        holders = r_block > 0.0
+        state.count_bulk_pushes(
+            rows,
+            np.count_nonzero(holders, axis=1),
+            holders @ graph.out_degree,
+        )
+
+    if whole_block:
+        state.residue[:] = moved.T
+    else:
+        state.residue[rows] = moved.T
+    if dead_masses is not None:
+        policy = state.dead_end_policy
+        if policy == "redirect-to-source":
+            state.residue[rows, state.sources[rows]] += dead_masses
+        elif policy == "uniform-teleport":
+            if whole_block:
+                state.residue += (dead_masses / graph.num_nodes)[:, None]
+            else:
+                state.residue[rows] += (
+                    dead_masses / graph.num_nodes
+                )[:, None]
+        elif np.any(dead_masses != 0.0):
+            # self-loop handled structurally; mass cannot appear here
+            raise AssertionError(
+                "structural self-loop graphs cannot emit dead-end mass"
+            )
+    # One row-wise reduction replaces per-row refresh calls;
+    # bitwise-equal to summing each contiguous row on its own.
+    if whole_block:
+        state.r_sum[:] = state.residue.sum(axis=1)
+    else:
+        state.r_sum[rows] = state.residue[rows].sum(axis=1)
+
+
+def block_frontier_push(
+    state: BlockPushState,
+    rows: np.ndarray,
+    masks: np.ndarray,
+    *,
+    workspace: Workspace | None = None,
+) -> None:
+    """Push each row's own frontier through one shared gather/scatter.
+
+    Parameters
+    ----------
+    rows:
+        Row indices into the block, aligned with ``masks``.
+    masks:
+        ``(len(rows), n)`` boolean matrix; ``masks[i]`` is row
+        ``rows[i]``'s frontier.  Every row must have at least one
+        active node (callers filter empty frontiers, mirroring the
+        single-source kernel's early return).
+
+    The adjacency ranges of the **union** frontier are gathered once;
+    rows scatter through a single flat ``bincount`` over
+    ``local_row * n + target`` indexes.  A union node inactive in some
+    row contributes an exact ``+0.0`` there, so each row's result is
+    bitwise what :func:`frontier_push` on its own frontier produces.
+    """
+    graph = state.graph
+    alpha = state.alpha
+    n = graph.num_nodes
+    num_rows = rows.shape[0]
+
+    # Row-major nonzero: per row, active columns ascending — the exact
+    # node order the single-source kernel pushes in.
+    local_rows, cols = np.nonzero(masks)
+    if cols.shape[0] == 0:
+        return
+    global_rows = rows[local_rows]
+    r_pushed = state.residue[global_rows, cols]
+    degrees = graph.out_degree[cols]
+    live = degrees > 0
+
+    # Per-row segment boundaries within the flattened (row, col) pairs.
+    frontier_sizes = np.count_nonzero(masks, axis=1)
+    segments = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(frontier_sizes, out=segments[1:])
+
+    state.reserve[global_rows, cols] += alpha * r_pushed
+    state.residue[global_rows, cols] = 0.0
+
+    union_mask = masks.any(axis=0)
+    union_nodes = np.flatnonzero(union_mask)
+    targets, counts = frontier_edge_targets(
+        graph, union_nodes, workspace=workspace
+    )
+    total = int(targets.shape[0])
+    if total:
+        # Shares are laid out over the *live* union nodes only: a dead
+        # union node contributes no edges, so the single-source
+        # ``np.repeat(shares, counts)`` skips it anyway and the
+        # per-edge values are identical.  Building contributions as a
+        # gather (share of the edge's owner) instead of a repeat lets
+        # the big (R x total) weight matrix live in pooled scratch.
+        live_union = counts > 0
+        live_nodes = union_nodes[live_union]
+        num_live = live_nodes.shape[0]
+        live_positions = np.searchsorted(live_nodes, cols[live])
+
+        shares = _scratch(
+            workspace, "push_shares", num_rows * num_live, np.float64
+        ).reshape(num_rows, num_live)
+        shares[:] = 0.0
+        shares[local_rows[live], live_positions] = (
+            (1.0 - alpha) * r_pushed[live] / degrees[live]
+        )
+
+        # edge -> live-owner index, by the same boundary-delta cumsum
+        # trick the gather uses (0 within a range, +1 at boundaries).
+        edge_owner = _scratch(workspace, "scatter_owner", total, np.int64)
+        edge_owner[:] = 0
+        live_counts = counts[live_union]
+        if num_live > 1:
+            bounds = np.empty(num_live - 1, dtype=np.int64)
+            np.cumsum(live_counts[:-1], out=bounds)
+            edge_owner[bounds] = 1
+            edge_owner[0] = 0
+            np.cumsum(edge_owner, out=edge_owner)
+        weights = _scratch(
+            workspace, "scatter_weights", num_rows * total, np.float64
+        ).reshape(num_rows, total)
+        np.take(shares, edge_owner, axis=1, out=weights)
+
+        flat_targets = _scratch(
+            workspace, "scatter_targets", num_rows * total, np.int64
+        )
+        flat_view = flat_targets.reshape(num_rows, total)
+        flat_view[:] = targets[None, :]
+        flat_view += (np.arange(num_rows, dtype=np.int64) * n)[:, None]
+        scattered = np.bincount(
+            flat_targets,
+            weights=weights.reshape(-1),
+            minlength=num_rows * n,
+        ).reshape(num_rows, n)
+        state.residue[rows] += scattered
+
+    # Billing vectorises (integers); the residue-mass sums stay per-row
+    # compact-slice reductions of the grouped gather — identical 1-D
+    # arrays (hence identical pairwise sums) to what the single-source
+    # kernel reduces.
+    any_dead = bool(np.any(~live))
+    dead_counts = (
+        np.bincount(local_rows[~live], minlength=num_rows)
+        if any_dead
+        else 0
+    )
+    degree_sums = np.add.reduceat(degrees, segments[:-1])
+    state.count_bulk_pushes(rows, frontier_sizes, degree_sums + dead_counts)
+    dead_in_row = ~live
+    for position in range(num_rows):
+        begin, end = int(segments[position]), int(segments[position + 1])
+        row = int(rows[position])
+        row_r = r_pushed[begin:end]
+        pushed_mass = float(row_r.sum())
+        if any_dead:
+            row_dead = dead_in_row[begin:end]
+            dead_mass = (1.0 - alpha) * float(row_r[row_dead].sum())
+            _apply_block_dead_end_mass(state, row, dead_mass)
+        state.note_r_sum_delta(row, -alpha * pushed_mass)
+
+
+def block_sweep_active(
+    state: BlockPushState,
+    rows: np.ndarray,
+    masks: np.ndarray,
+    *,
+    dense_fraction: float = DENSE_SWEEP_FRACTION,
+    workspace: Workspace | None = None,
+) -> np.ndarray:
+    """Sweep each row once, switching global/local **per row**.
+
+    ``masks`` holds each row's activity mask (callers compute it
+    against the row's current threshold).  Rows whose frontier exceeds
+    ``dense_fraction * n`` join one block mat-mat scan; the rest join
+    one union gather/scatter — hot rows scan while cold rows push.
+    Returns the per-row active counts (0 marks a row that did not
+    push).
+    """
+    graph = state.graph
+    num_active = np.count_nonzero(masks, axis=1)
+    local = (num_active > 0) & (num_active <= dense_fraction * graph.num_nodes)
+    dense = num_active > dense_fraction * graph.num_nodes
+    if local.any():
+        block_frontier_push(
+            state, rows[local], masks[local], workspace=workspace
+        )
+    if dense.any():
+        block_global_sweep(
+            state, rows[dense], count_all_edges=False, workspace=workspace
+        )
+    return num_active
+
+
+def _apply_block_dead_end_mass(
+    state: BlockPushState, row: int, dead_mass: float
+) -> None:
+    """Route one row's dead-end mass according to the shared policy."""
+    if dead_mass == 0.0:
+        return
+    if state.dead_end_policy == "redirect-to-source":
+        state.residue[row, state.sources[row]] += dead_mass
+    elif state.dead_end_policy == "uniform-teleport":
+        state.residue[row] += dead_mass / state.graph.num_nodes
     else:  # self-loop handled structurally; mass cannot appear here
         raise AssertionError(
             "structural self-loop graphs cannot emit dead-end mass"

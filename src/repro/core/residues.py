@@ -34,7 +34,12 @@ from repro.errors import ParameterError
 from repro.graph.digraph import DiGraph
 from repro.instrumentation.counters import PushCounters
 
-__all__ = ["DeadEndPolicy", "PushState"]
+__all__ = [
+    "DeadEndPolicy",
+    "PushState",
+    "BlockPushState",
+    "effective_out_degree",
+]
 
 DeadEndPolicy = Literal["redirect-to-source", "self-loop", "uniform-teleport"]
 
@@ -43,6 +48,28 @@ _VALID_POLICIES: tuple[str, ...] = (
     "self-loop",
     "uniform-teleport",
 )
+
+
+def effective_out_degree(graph: DiGraph, dead_end_policy: str) -> np.ndarray:
+    """Out-degrees with dead ends replaced by their *conceptual* degree.
+
+    The paper removes dead ends by conceptually adding an edge to the
+    source, so a dead end's conceptual out-degree is 1 (or ``n`` under
+    the uniform-teleport policy).  Using the conceptual degree in the
+    activity test ``r > d_v * r_max`` is what makes push algorithms
+    terminate on graphs with dead ends.  Shared by :class:`PushState`
+    and :class:`BlockPushState` so the two activity tests can never
+    drift apart.
+    """
+    degree = graph.out_degree
+    if graph.has_dead_ends:
+        degree = degree.copy()
+        conceptual = (
+            graph.num_nodes if dead_end_policy == "uniform-teleport" else 1
+        )
+        degree[graph.dead_ends] = conceptual
+        degree.flags.writeable = False
+    return degree
 
 
 class PushState:
@@ -136,17 +163,9 @@ class PushState:
         uniform spread) would stay active forever.
         """
         if self._effective_out_degree is None:
-            degree = self.graph.out_degree
-            if self.graph.has_dead_ends:
-                degree = degree.copy()
-                conceptual = (
-                    self.graph.num_nodes
-                    if self.dead_end_policy == "uniform-teleport"
-                    else 1
-                )
-                degree[self.graph.dead_ends] = conceptual
-                degree.flags.writeable = False
-            self._effective_out_degree = degree
+            self._effective_out_degree = effective_out_degree(
+                self.graph, self.dead_end_policy
+            )
         return self._effective_out_degree
 
     def is_active(self, v: int, r_max: float) -> bool:
@@ -233,3 +252,149 @@ class PushState:
             raise AssertionError(
                 f"mass not conserved: reserve+residue = {total!r}"
             )
+
+
+class BlockPushState:
+    """Reserve/residue state for ``B`` simultaneous SSPPR queries.
+
+    The multi-source generalisation of :class:`PushState`: ``reserve``
+    and ``residue`` are ``(B, n)`` matrices (row ``i`` is source
+    ``sources[i]``'s vectors), ``r_sum`` is a length-``B`` array, and
+    instrumentation is kept as per-row *counter arrays* (billing is
+    integer arithmetic, so it vectorises exactly; ``row_counters``
+    materialises a :class:`PushCounters` per row on demand).  Rows are
+    fully independent — the block kernels in :mod:`repro.core.kernels`
+    are written so each row's float-operation sequence is *identical*
+    to what the single-source kernels would perform, which is what
+    lets :func:`repro.core.powerpush.power_push_block` promise bitwise
+    equality with per-source solves.
+
+    All rows share one graph, alpha, and dead-end policy (that is what
+    makes the adjacency work shareable); heterogeneous queries belong
+    in separate blocks.
+    """
+
+    __slots__ = (
+        "graph",
+        "sources",
+        "alpha",
+        "dead_end_policy",
+        "reserve",
+        "residue",
+        "pushes",
+        "residue_updates",
+        "queue_appends",
+        "epochs",
+        "_r_sum",
+        "_effective_out_degree",
+    )
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        sources,
+        alpha: float = 0.2,
+        *,
+        dead_end_policy: DeadEndPolicy = "redirect-to-source",
+    ) -> None:
+        if dead_end_policy not in _VALID_POLICIES:
+            raise ParameterError(
+                f"unknown dead-end policy {dead_end_policy!r}; "
+                f"expected one of {_VALID_POLICIES}"
+            )
+        sources = [check_source(graph, int(s)) for s in sources]
+        if not sources:
+            raise ParameterError("BlockPushState needs at least one source")
+        self.graph = graph
+        self.sources = np.asarray(sources, dtype=np.int64)
+        self.alpha = check_alpha(alpha)
+        self.dead_end_policy: DeadEndPolicy = dead_end_policy
+        num_rows = self.sources.shape[0]
+        self.reserve = np.zeros((num_rows, graph.num_nodes), dtype=np.float64)
+        self.residue = np.zeros((num_rows, graph.num_nodes), dtype=np.float64)
+        self.residue[np.arange(num_rows), self.sources] = 1.0
+        self.pushes = np.zeros(num_rows, dtype=np.int64)
+        self.residue_updates = np.zeros(num_rows, dtype=np.int64)
+        self.queue_appends = np.zeros(num_rows, dtype=np.int64)
+        self.epochs = np.zeros(num_rows, dtype=np.int64)
+        self._r_sum = np.ones(num_rows, dtype=np.float64)
+        self._effective_out_degree: np.ndarray | None = None
+
+    @property
+    def num_rows(self) -> int:
+        """Number of simultaneous sources ``B``."""
+        return self.sources.shape[0]
+
+    @property
+    def r_sum(self) -> np.ndarray:
+        """Per-row residue mass (the incremental l1-error bounds)."""
+        return self._r_sum
+
+    def refresh_r_sum(self, row: int) -> float:
+        """Recompute one row's ``r_sum`` exactly from its residue row.
+
+        Summed per row (a contiguous length-``n`` view) so the pairwise
+        reduction matches :meth:`PushState.refresh_r_sum` bitwise.
+        """
+        self._r_sum[row] = float(self.residue[row].sum())
+        return self._r_sum[row]
+
+    def note_r_sum_delta(self, row: int, delta: float) -> None:
+        """Adjust one row's cached ``r_sum`` (vectorised kernels)."""
+        self._r_sum[row] += delta
+
+    @property
+    def effective_out_degree(self) -> np.ndarray:
+        """Shared conceptual out-degrees (see :func:`effective_out_degree`)."""
+        if self._effective_out_degree is None:
+            self._effective_out_degree = effective_out_degree(
+                self.graph, self.dead_end_policy
+            )
+        return self._effective_out_degree
+
+    def active_masks(
+        self, rows: np.ndarray, threshold_vec: np.ndarray
+    ) -> np.ndarray:
+        """Per-row activity masks of ``rows`` against one threshold vector.
+
+        One broadcast compare over the ``(len(rows), n)`` sub-block —
+        elementwise, hence bitwise-identical to the per-source
+        ``residue > threshold_vec`` test.
+        """
+        if rows.shape[0] == self.num_rows and bool(
+            (rows == np.arange(self.num_rows)).all()
+        ):
+            return self.residue > threshold_vec
+        return self.residue[rows] > threshold_vec[None, :]
+
+    def count_bulk_pushes(
+        self, rows: np.ndarray, num_nodes, num_updates
+    ) -> None:
+        """Bill a vectorised push round to each row in ``rows``.
+
+        ``num_nodes``/``num_updates`` are scalars or per-row arrays;
+        integer arithmetic, so exactly what per-row
+        :meth:`PushCounters.count_bulk_pushes` calls would record.
+        """
+        self.pushes[rows] += num_nodes
+        self.residue_updates[rows] += num_updates
+
+    def row_counters(self, row: int) -> PushCounters:
+        """One row's instrumentation as a :class:`PushCounters`.
+
+        ``epochs`` appears in ``extras`` only once the row entered the
+        scan phase, matching when the single-source loop first bumps
+        it.
+        """
+        counters = PushCounters(
+            pushes=int(self.pushes[row]),
+            residue_updates=int(self.residue_updates[row]),
+            queue_appends=int(self.queue_appends[row]),
+        )
+        if self.epochs[row]:
+            counters.extras["epochs"] = int(self.epochs[row])
+        return counters
+
+    def mass_total(self, row: int) -> float:
+        """``sum(reserve) + sum(residue)`` of one row (invariant check)."""
+        return float(self.reserve[row].sum() + self.residue[row].sum())

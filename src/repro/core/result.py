@@ -33,9 +33,17 @@ class PPRResult:
     trace:
         Optional convergence trace (Figures 5-6) if one was requested.
     seconds:
-        Wall-clock time of the algorithm body.
+        Wall-clock time of the algorithm body.  Results produced by a
+        block solve report their even share of the batch's wall time
+        (the vectorised kernels have no per-source measurement).
     method:
         Name of the algorithm that produced the result.
+    batch_size:
+        How many sources were co-solved in the block that produced
+        this result (1 for an independent single-source solve).  The
+        answer itself is independent of the batch — block rows are
+        bitwise-identical to single-source runs — so this is
+        provenance for benchmarks and serving stats, not a parameter.
     """
 
     estimate: np.ndarray
@@ -46,6 +54,7 @@ class PPRResult:
     trace: ConvergenceTrace | None = None
     seconds: float = 0.0
     method: str = ""
+    batch_size: int = 1
 
     @property
     def r_sum(self) -> float:

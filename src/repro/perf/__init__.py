@@ -1,0 +1,18 @@
+"""Reusable performance-measurement harnesses.
+
+Home of the benchmark bodies shared by the ``benchmarks/`` scripts and
+the CLI subcommands, so a CI smoke step and a developer at a shell run
+exactly the same measurement.
+"""
+
+from repro.perf.kernels import (
+    KernelBatchMetrics,
+    KernelBenchReport,
+    run_kernel_bench,
+)
+
+__all__ = [
+    "KernelBatchMetrics",
+    "KernelBenchReport",
+    "run_kernel_bench",
+]

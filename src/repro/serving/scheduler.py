@@ -8,9 +8,13 @@ module is the serving-side half of that idea.  Callers from any thread
 collects everything that arrives within a **micro-batch window**,
 groups compatible requests — same canonical method, same merged
 parameters — and answers each group with one
-:meth:`~repro.api.engine.PPREngine.batch_query` call, so a burst of
-requests shares index injection, parameter resolution, and (for
-Monte-Carlo) the vectorised multi-source walk simulation.
+:meth:`~repro.api.engine.PPREngine.batch_query` call.  A coalesced
+window is therefore a genuinely multi-source solve, not a loop: the
+engine hands PowerPush windows to the block kernel layer (one
+adjacency scan amortised over every source in the window, answers
+element-wise identical to per-source solves) and Monte-Carlo windows
+to the vectorised multi-source walk simulation, while all windows
+share index injection and parameter resolution.
 
 Identical requests coalesce harder: two submits for the same
 ``(source, method, params)`` resolve from a *single* solve (opt out

@@ -119,6 +119,46 @@ class TestFixtures:
         assert not graph.has_dead_ends
 
 
+def test_block_path_reproduces_golden_powerpush_bytes():
+    """power_push_block rows == the committed powerpush vectors, exactly.
+
+    The block solver promises bitwise equality with per-source solves,
+    so against the golden fixture the tolerance is zero: any kernel
+    change that re-orders a float op in the block path fails here even
+    if the per-source path still matches.
+    """
+    from repro.core.powerpush import power_push_block
+
+    graph = load_golden_graph()
+    results = power_push_block(
+        graph, list(SOURCES), **CASES["powerpush"]
+    )
+    with np.load(VECTORS_FILE) as archive:
+        for source, result in zip(SOURCES, results):
+            expected = archive[f"powerpush__{source}"]
+            assert np.array_equal(result.estimate, expected), (
+                f"block row for source {source} is not byte-identical to "
+                f"the golden powerpush vector"
+            )
+
+
+def test_engine_batch_block_reproduces_golden_bytes():
+    """The engine's auto-selected block batch matches the fixture too."""
+    from repro.api import PPREngine
+
+    graph = load_golden_graph()
+    engine = PPREngine(graph)
+    results = engine.batch_query(
+        list(SOURCES), "powerpush", **CASES["powerpush"]
+    )
+    assert engine.block_batches == 1
+    with np.load(VECTORS_FILE) as archive:
+        for source, result in zip(SOURCES, results):
+            assert np.array_equal(
+                result.estimate, archive[f"powerpush__{source}"]
+            )
+
+
 @pytest.mark.parametrize("source", SOURCES)
 @pytest.mark.parametrize("method", sorted(CASES))
 def test_solver_matches_golden_trace(method, source):
