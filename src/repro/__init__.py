@@ -58,6 +58,12 @@ from repro.api import (
     register_solver,
     solver_names,
 )
+from repro.backends import (
+    KernelBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
 from repro.baselines import fora, resacc
 from repro.bepi import BePIIndex, bepi_query, build_bepi_index
 from repro.core import (
@@ -92,12 +98,14 @@ from repro.core.incremental import IncrementalPPR
 from repro.graph import (
     DiGraph,
     DynamicGraph,
+    ReorderResult,
     compute_stats,
     from_adjacency,
     from_edge_arrays,
     from_edges,
     paper_example_graph,
     read_edge_list,
+    reorder_for_locality,
     sample_edge_update,
 )
 from repro.metrics import (
@@ -152,6 +160,13 @@ __all__ = [
     "read_edge_list",
     "paper_example_graph",
     "compute_stats",
+    "ReorderResult",
+    "reorder_for_locality",
+    # kernel backends
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
     # generators
     "barabasi_albert_digraph",
     "chung_lu_digraph",

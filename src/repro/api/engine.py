@@ -79,6 +79,7 @@ from repro.api.registry import (
     per_source_rng,
     resolve_method,
 )
+from repro.backends import KernelBackend, resolve_backend
 from repro.bepi.blockelim import BePIIndex, build_bepi_index
 from repro.core.incremental import IncrementalPPR
 from repro.core.result import PPRResult
@@ -87,6 +88,7 @@ from repro.core.validation import check_source
 from repro.errors import IndexMismatchError, ParameterError
 from repro.graph.digraph import DiGraph
 from repro.graph.dynamic import DynamicGraph
+from repro.graph.transforms import ReorderResult, reorder_for_locality
 from repro.instrumentation.counters import PushCounters
 from repro.montecarlo.chernoff import (
     chernoff_walk_count,
@@ -244,6 +246,30 @@ class PPREngine:
         Default dead-end rule for solvers that accept one.
     walk_index, bepi_index:
         Optionally adopt pre-built indexes instead of building lazily.
+    backend:
+        Kernel backend injected into every query of a backend-capable
+        method (PowerPush and friends): a registered name
+        (``"numpy"``/``"numba"``) or a
+        :class:`~repro.backends.KernelBackend` instance.  ``None``
+        leaves the choice to each solver's own resolution (the
+        ``REPRO_PPR_BACKEND`` environment variable, defaulting to the
+        NumPy reference) — so explicit-constructor > env var > default.
+        Resolution happens here, so an unknown name fails fast and a
+        missing ``numba`` warns once at engine construction.
+    reorder:
+        Cache-aware node reordering: ``"degree"`` or ``"slashburn"``
+        (see :func:`repro.graph.transforms.reorder_for_locality`), or
+        a pre-computed :class:`~repro.graph.transforms.ReorderResult`.
+        The engine then runs every query on the relabelled graph —
+        whose CSR the kernels walk with better cache locality — and
+        transparently maps sources in and permutes estimates/rankings
+        back, so callers keep using original node ids throughout.
+        Per-source RNG streams stay keyed on the *original* ids, so
+        seeded answers remain a pure function of ``(seed, source)``.
+        Only static graphs can be reordered (a
+        :class:`DynamicGraph`'s labels must stay stable under
+        updates); answers match the unreordered engine's to float
+        re-association (~1e-12), not byte-for-byte.
     """
 
     def __init__(
@@ -255,7 +281,26 @@ class PPREngine:
         dead_end_policy: str = "redirect-to-source",
         walk_index: WalkIndex | None = None,
         bepi_index: BePIIndex | None = None,
+        backend: str | KernelBackend | None = None,
+        reorder: str | ReorderResult | None = None,
     ) -> None:
+        self._reorder: ReorderResult | None = None
+        if reorder is not None:
+            if isinstance(graph, DynamicGraph):
+                raise ParameterError(
+                    "reordering needs stable node labels; serve a "
+                    "DynamicGraph without reorder= (or snapshot() it into "
+                    "an immutable DiGraph first)"
+                )
+            if isinstance(reorder, ReorderResult):
+                self._reorder = reorder
+            else:
+                self._reorder = reorder_for_locality(graph, strategy=reorder)
+            graph = self._reorder.graph
+        #: resolved kernel backend, or None to defer to the env default
+        self.backend: KernelBackend | None = (
+            resolve_backend(backend) if backend is not None else None
+        )
         if isinstance(graph, DynamicGraph):
             self._dynamic: DynamicGraph | None = graph
             self._static_graph: DiGraph | None = None
@@ -393,6 +438,37 @@ class PPREngine:
     def tracked_sources(self) -> tuple[int, ...]:
         """Sources currently maintained incrementally, ascending."""
         return tuple(sorted(self._trackers))
+
+    # -- reordered serving ---------------------------------------------
+    @property
+    def reordering(self) -> ReorderResult | None:
+        """The active cache-aware reordering, or None.
+
+        When set, :attr:`graph` is the relabelled graph the kernels
+        actually walk; the query API keeps speaking original node ids
+        (sources mapped in, estimates/rankings permuted back).
+        """
+        return self._reorder
+
+    def _internal_source(self, source: int) -> int:
+        """Map a caller-facing source id into the served graph."""
+        source = int(source)
+        if self._reorder is None:
+            return source
+        # Node counts agree, so validating against the served snapshot
+        # validates the caller's id too.
+        check_source(self.graph, source)
+        return self._reorder.to_internal(source)
+
+    def _externalize_result(self, result: PPRResult, source: int) -> PPRResult:
+        """Permute a solve's vectors back to original node ids."""
+        if self._reorder is None:
+            return result
+        result.estimate = self._reorder.restore_vector(result.estimate)
+        if result.residue is not None:
+            result.residue = self._reorder.restore_vector(result.residue)
+        result.source = int(source)
+        return result
 
     def _sync_caches(self) -> None:
         """Drop artefacts built at a graph version older than current."""
@@ -580,12 +656,16 @@ class PPREngine:
         # preparation (which may trigger a lazy index build — itself
         # double-checked, built unlocked) and the solve run outside it,
         # so concurrent readers genuinely overlap.
+        internal_source = self._internal_source(source)
         with self._lock:
             self._sync_caches()
             self._query_counter += 1
             counter = self._query_counter
+        # Engine defaults (and seeded RNG streams) key on the caller's
+        # source id; only the solve itself runs in internal ids.
         self._prepare(spec, merged, counter, source)
-        result = spec.solve(self.graph, source, params=merged)
+        result = spec.solve(self.graph, internal_source, params=merged)
+        result = self._externalize_result(result, source)
         with self._lock:
             self.stats.record(result)
         return result
@@ -703,11 +783,18 @@ class PPREngine:
             merged.setdefault("alpha", self.alpha)
         if spec.accepts("dead_end_policy"):
             merged.setdefault("dead_end_policy", self.dead_end_policy)
+        if spec.accepts("backend") and self.backend is not None:
+            merged.setdefault("backend", self.backend)
+        internal = [self._internal_source(s) for s in sources]
         with self._lock:
             self._sync_caches()
             self._query_counter += 1
             self.block_batches += 1
-        results = spec.solve_block(self.graph, sources, params=merged)
+        results = spec.solve_block(self.graph, internal, params=merged)
+        results = [
+            self._externalize_result(result, source)
+            for result, source in zip(results, sources)
+        ]
         with self._lock:
             for result in results:
                 self.stats.record(result)
@@ -733,7 +820,25 @@ class PPREngine:
         if method is None:
             params.setdefault("alpha", self.alpha)
             params.setdefault("dead_end_policy", self.dead_end_policy)
-            answer = top_k_ppr(self.graph, source, k, **params)
+            if self.backend is not None:
+                params.setdefault("backend", self.backend)
+            answer = top_k_ppr(
+                self.graph, self._internal_source(source), k, **params
+            )
+            if self._reorder is not None:
+                # Rankings come out in internal ids; translate them (and
+                # the underlying full-vector result) back.
+                result = self._externalize_result(answer.result, source)
+                answer = TopKResult(
+                    ranking=[
+                        (self._reorder.to_external(node), value)
+                        for node, value in answer.ranking
+                    ],
+                    certified=answer.certified,
+                    gap=answer.gap,
+                    l1_threshold=answer.l1_threshold,
+                    result=result,
+                )
             with self._lock:
                 self._query_counter += 1
                 self.stats.record(answer.result)
@@ -956,6 +1061,8 @@ class PPREngine:
             merged.setdefault("alpha", self.alpha)
         if spec.accepts("dead_end_policy"):
             merged.setdefault("dead_end_policy", self.dead_end_policy)
+        if spec.accepts("backend") and self.backend is not None:
+            merged.setdefault("backend", self.backend)
         if spec.needs_rng and merged.get("rng") is None:
             seed = merged.pop("seed", None)
             if seed is not None:
@@ -1001,6 +1108,10 @@ class PPREngine:
         graph = self.graph
         for source in sources:
             check_source(graph, source)
+        # Walks start (and dead-end-redirect) in internal ids when the
+        # engine serves a reordered graph; the histograms are permuted
+        # back below, and seeded streams stay keyed on external ids.
+        internal_sources = [self._internal_source(s) for s in sources]
         alpha = merged.get("alpha", self.alpha)
         num_walks = merged.get("num_walks")
         if num_walks is None:
@@ -1021,7 +1132,7 @@ class PPREngine:
             counter = self._query_counter
         if seed is not None:
             return self._batch_monte_carlo_seeded(
-                graph, sources, alpha, int(num_walks), seed
+                graph, sources, internal_sources, alpha, int(num_walks), seed
             )
         rng = self.rng(_QUERY_SALT_BASE + counter)
         # Simulate in source groups and reduce each group's stops to
@@ -1033,7 +1144,9 @@ class PPREngine:
         per_source_counts: list[np.ndarray] = []
         steps = 0
         for begin in range(0, len(sources), group_size):
-            group = np.asarray(sources[begin : begin + group_size], dtype=np.int64)
+            group = np.asarray(
+                internal_sources[begin : begin + group_size], dtype=np.int64
+            )
             group_stops, group_steps = simulate_walk_stops(
                 graph, np.repeat(group, num_walks), alpha=alpha, rng=rng
             )
@@ -1042,9 +1155,10 @@ class PPREngine:
                 segment = group_stops[
                     position * num_walks : (position + 1) * num_walks
                 ]
-                per_source_counts.append(
-                    np.bincount(segment, minlength=graph.num_nodes)
-                )
+                counts = np.bincount(segment, minlength=graph.num_nodes)
+                if self._reorder is not None:
+                    counts = self._reorder.restore_vector(counts)
+                per_source_counts.append(counts)
         elapsed = time.perf_counter() - started
 
         results: list[PPRResult] = []
@@ -1077,6 +1191,7 @@ class PPREngine:
         self,
         graph: DiGraph,
         sources: Sequence[int],
+        internal_sources: Sequence[int],
         alpha: float,
         num_walks: int,
         seed: int,
@@ -1088,19 +1203,22 @@ class PPREngine:
         so the batch answer is order-independent and byte-identical to
         a sequential ``query(s, seed=seed)``, at the cost of one (still
         walk-vectorised) simulation per source instead of cross-source
-        grouping.
+        grouping.  Streams key on the caller-facing source id even
+        when the walks themselves run on a reordered graph.
         """
         results: list[PPRResult] = []
-        for source in sources:
+        for source, internal in zip(sources, internal_sources):
             started = time.perf_counter()
             stops, steps = simulate_walk_stops(
                 graph,
-                np.full(num_walks, source, dtype=np.int64),
+                np.full(num_walks, internal, dtype=np.int64),
                 alpha=alpha,
-                source=int(source),
+                source=int(internal),
                 rng=per_source_rng(seed, source),
             )
             counts = np.bincount(stops, minlength=graph.num_nodes)
+            if self._reorder is not None:
+                counts = self._reorder.restore_vector(counts)
             result = PPRResult(
                 estimate=counts.astype(np.float64) / num_walks,
                 residue=None,

@@ -1,0 +1,520 @@
+"""Numba-JIT compiled push kernels (the accelerated backend).
+
+The reference kernels are NumPy-vectorised: a frontier push is a
+multi-range gather, a ``repeat`` of shares, and a ``bincount`` scatter
+— each an ``O(total)`` pass that materialises (or borrows from the
+workspace) a frontier-sized temporary, plus per-call dispatch
+overhead.  The same recurrence as one compiled loop over the CSR
+arrays touches every edge exactly once, keeps the share arithmetic in
+registers, and needs a single scratch vector for the entry residues —
+"Accelerating Personalized PageRank Vector Computation" (PAPERS.md)
+reports order-of-magnitude wins from exactly this transformation.
+
+Everything here is gated on ``numba`` being importable, and the import
+itself is **lazy**: this module only probes for the package
+(``importlib.util.find_spec``), so ``import repro`` never pays numba's
+multi-hundred-millisecond import; the real ``from numba import njit``
+and the kernel compilation happen on the first
+:class:`NumbaBackend` instantiation.  When numba is absent,
+:data:`NUMBA_AVAILABLE` is False and the backend registry silently
+serves the NumPy reference instead (with a one-time warning) —
+``numba`` is an optional extra (``pip install repro-ppr[numba]``),
+never a hard dependency.
+
+Determinism: the compiled loops are deterministic (the ``prange``
+parallelism is over *independent rows* of a block state; each row's
+arithmetic is a fixed sequential order), but they accumulate sums
+sequentially where NumPy reduces pairwise, so answers agree with the
+reference to ~1e-12 L1 rather than bitwise.  The dead-end policy
+routing and operation billing reuse the reference helpers in
+:mod:`repro.core.kernels`, so those side channels cannot drift.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from types import SimpleNamespace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.backends.base import KernelBackend
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.residues import BlockPushState, PushState
+    from repro.core.workspace import Workspace
+
+__all__ = ["NUMBA_AVAILABLE", "numba_available", "NumbaBackend"]
+
+#: Probe only — the actual import is deferred to first backend use.
+NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
+
+
+def numba_available() -> bool:
+    """Whether the compiled backend can actually run here."""
+    return NUMBA_AVAILABLE
+
+
+def _scratch(
+    workspace: Workspace | None, key: str, size: int, dtype=np.float64
+) -> np.ndarray:
+    """A pooled buffer when a workspace is threaded, else a fresh one."""
+    if workspace is not None:
+        return workspace.buffer(key, size, dtype)
+    return np.empty(size, dtype=np.dtype(dtype))
+
+
+#: Compiled-kernel namespace, built (and numba imported) on first use.
+_KERNELS: SimpleNamespace | None = None
+
+
+def _compiled_kernels() -> SimpleNamespace:
+    global _KERNELS
+    if _KERNELS is None:
+        _KERNELS = _build_kernels()
+    return _KERNELS
+
+
+def _build_kernels() -> SimpleNamespace:
+    """Import numba and define the jitted loops (first-use only).
+
+    All of them mutate the passed arrays in place and return the
+    bookkeeping scalars (masses, billing counts) the Python wrappers
+    feed back into the state exactly like the reference kernels do.
+    ``cache=True`` persists the compiled artefacts so the JIT cost is
+    paid once per machine, not once per process.
+    """
+    from numba import njit, prange
+
+    @njit(cache=True)
+    def frontier_push_loop(
+        indptr, indices, residue, reserve, nodes, r_old, alpha
+    ):
+        """Simultaneous push of ``nodes``: settle pass then scatter pass.
+
+        The two passes are what makes the loop *simultaneous*: every
+        share is computed from the residues at entry (recorded into
+        ``r_old``), never from mass deposited by an earlier node of
+        the same frontier.
+        """
+        pushed_mass = 0.0
+        for i in range(nodes.shape[0]):
+            v = nodes[i]
+            r = residue[v]
+            r_old[i] = r
+            reserve[v] += alpha * r
+            residue[v] = 0.0
+            pushed_mass += r
+        scale = 1.0 - alpha
+        dead_mass = 0.0
+        edges = 0
+        num_dead = 0
+        for i in range(nodes.shape[0]):
+            v = nodes[i]
+            begin = indptr[v]
+            end = indptr[v + 1]
+            degree = end - begin
+            if degree > 0:
+                share = scale * r_old[i] / degree
+                for e in range(begin, end):
+                    residue[indices[e]] += share
+                edges += degree
+            else:
+                dead_mass += scale * r_old[i]
+                num_dead += 1
+        return pushed_mass, dead_mass, edges, num_dead
+
+    @njit(cache=True)
+    def global_sweep_loop(
+        pt_indptr,
+        pt_indices,
+        pt_data,
+        residue,
+        reserve,
+        out,
+        alpha,
+        count_holders,
+        out_degree,
+    ):
+        """One Power-Iteration step: ``out = (1-alpha) * P^T r`` + reserves.
+
+        Also counts the residue holders (and their degree mass) in the
+        same pass when SimFwdPush-style billing is requested, so the
+        billing never needs a second O(n) sweep.
+        """
+        n = residue.shape[0]
+        scale = 1.0 - alpha
+        holders = 0
+        holder_degree = 0
+        if count_holders:
+            for v in range(n):
+                if residue[v] > 0.0:
+                    holders += 1
+                    holder_degree += out_degree[v]
+        for v in range(n):
+            acc = 0.0
+            for e in range(pt_indptr[v], pt_indptr[v + 1]):
+                acc += pt_data[e] * residue[pt_indices[e]]
+            out[v] = scale * acc
+            reserve[v] += alpha * residue[v]
+        return holders, holder_degree
+
+    @njit(cache=True)
+    def collect_active_loop(residue, threshold_vec, out_nodes):
+        """Gather active node ids (``r > threshold``) in ascending order."""
+        count = 0
+        for v in range(residue.shape[0]):
+            if residue[v] > threshold_vec[v]:
+                out_nodes[count] = v
+                count += 1
+        return count
+
+    @njit(cache=True, parallel=True)
+    def block_global_sweep_loop(
+        pt_indptr,
+        pt_indices,
+        pt_data,
+        residue,
+        reserve,
+        rows,
+        out,
+        alpha,
+        count_holders,
+        out_degree,
+        dead,
+        dead_masses,
+        holders,
+        holder_degrees,
+    ):
+        """Per-row Power-Iteration steps, rows in parallel (``prange``).
+
+        Rows never exchange mass, so parallelising the row dimension
+        is race-free and each row's arithmetic stays a fixed
+        sequential order (deterministic regardless of thread count).
+        """
+        n = residue.shape[1]
+        scale = 1.0 - alpha
+        for k in prange(rows.shape[0]):
+            i = rows[k]
+            dm = 0.0
+            for j in range(dead.shape[0]):
+                dm += residue[i, dead[j]]
+            dead_masses[k] = scale * dm
+            h = 0
+            hd = 0
+            if count_holders:
+                for v in range(n):
+                    if residue[i, v] > 0.0:
+                        h += 1
+                        hd += out_degree[v]
+            holders[k] = h
+            holder_degrees[k] = hd
+            for v in range(n):
+                acc = 0.0
+                for e in range(pt_indptr[v], pt_indptr[v + 1]):
+                    acc += pt_data[e] * residue[i, pt_indices[e]]
+                out[k, v] = scale * acc
+                reserve[i, v] += alpha * residue[i, v]
+            # Safe to write back inside the same iteration: only row k
+            # ever reads residue[i, :].
+            for v in range(n):
+                residue[i, v] = out[k, v]
+
+    @njit(cache=True, parallel=True)
+    def block_frontier_push_loop(
+        indptr,
+        indices,
+        residue,
+        reserve,
+        rows,
+        cols,
+        segments,
+        r_old,
+        alpha,
+        pushed_masses,
+        dead_masses,
+        update_counts,
+    ):
+        """Per-row simultaneous frontier pushes, rows in parallel.
+
+        ``cols[segments[k]:segments[k+1]]`` lists row ``k``'s active
+        nodes (ascending), so the work is proportional to the frontier
+        sizes — no O(n) column scan per row.  ``update_counts`` matches
+        the reference billing (edge targets plus one per dead-end
+        push).
+        """
+        scale = 1.0 - alpha
+        for k in prange(rows.shape[0]):
+            i = rows[k]
+            begin_k = segments[k]
+            end_k = segments[k + 1]
+            pushed = 0.0
+            for idx in range(begin_k, end_k):
+                v = cols[idx]
+                r = residue[i, v]
+                r_old[idx] = r
+                reserve[i, v] += alpha * r
+                residue[i, v] = 0.0
+                pushed += r
+            dead_mass = 0.0
+            updates = 0
+            for idx in range(begin_k, end_k):
+                v = cols[idx]
+                begin = indptr[v]
+                end = indptr[v + 1]
+                degree = end - begin
+                if degree > 0:
+                    share = scale * r_old[idx] / degree
+                    for e in range(begin, end):
+                        residue[i, indices[e]] += share
+                    updates += degree
+                else:
+                    dead_mass += scale * r_old[idx]
+                    updates += 1
+            pushed_masses[k] = pushed
+            dead_masses[k] = dead_mass
+            update_counts[k] = updates
+
+    return SimpleNamespace(
+        frontier_push=frontier_push_loop,
+        global_sweep=global_sweep_loop,
+        collect_active=collect_active_loop,
+        block_global_sweep=block_global_sweep_loop,
+        block_frontier_push=block_frontier_push_loop,
+    )
+
+
+class NumbaBackend(KernelBackend):
+    """Compiled push kernels; see the module docstring.
+
+    Instantiation imports numba and materialises the jitted functions
+    (the registry constructs backends lazily, so numpy-only usage
+    never touches numba at all); the actual machine-code compilation
+    still happens per-signature on first call, which the benchmark's
+    warm-up runs keep out of every timed region.
+    """
+
+    name = "numba"
+    compiled = True
+
+    def __init__(self) -> None:
+        self._kernels = _compiled_kernels()
+
+    # -- single-source kernels -----------------------------------------
+    def global_sweep(
+        self, state: PushState, *, count_all_edges: bool = True
+    ) -> None:
+        from repro.core.kernels import _apply_dead_end_mass
+
+        graph = state.graph
+        pt_indptr, pt_indices, pt_data = graph.pt_csr_arrays()
+        dead = graph.dead_ends
+        dead_mass = 0.0
+        if dead.shape[0]:
+            dead_mass = (1.0 - state.alpha) * float(state.residue[dead].sum())
+        # A fresh output vector, rebound like the reference's mat-vec
+        # result (one O(n) allocation per sweep on either backend).
+        out = np.empty(graph.num_nodes, dtype=np.float64)
+        holders, holder_degree = self._kernels.global_sweep(
+            pt_indptr,
+            pt_indices,
+            pt_data,
+            state.residue,
+            state.reserve,
+            out,
+            state.alpha,
+            not count_all_edges,
+            graph.out_degree,
+        )
+        if count_all_edges:
+            state.counters.count_bulk_pushes(graph.num_nodes, graph.num_edges)
+        else:
+            state.counters.count_bulk_pushes(int(holders), int(holder_degree))
+        state.residue = out
+        _apply_dead_end_mass(state, dead_mass)
+        state.refresh_r_sum()
+
+    def frontier_push(
+        self,
+        state: PushState,
+        nodes: np.ndarray,
+        *,
+        workspace: Workspace | None = None,
+    ) -> None:
+        from repro.core.kernels import _apply_dead_end_mass
+
+        if nodes.shape[0] == 0:
+            return
+        graph = state.graph
+        r_old = _scratch(workspace, "nb_r_pushed", nodes.shape[0])
+        pushed_mass, dead_mass, edges, num_dead = self._kernels.frontier_push(
+            graph.out_indptr,
+            graph.out_indices,
+            state.residue,
+            state.reserve,
+            np.ascontiguousarray(nodes, dtype=np.int64),
+            r_old,
+            state.alpha,
+        )
+        state.counters.count_bulk_pushes(
+            nodes.shape[0], int(edges) + int(num_dead)
+        )
+        _apply_dead_end_mass(state, float(dead_mass))
+        state.note_r_sum_delta(-state.alpha * float(pushed_mass))
+
+    def sweep_active(
+        self,
+        state: PushState,
+        r_max: float,
+        *,
+        dense_fraction: float,
+        threshold_vec: np.ndarray | None = None,
+        workspace: Workspace | None = None,
+    ) -> int:
+        graph = state.graph
+        if threshold_vec is None:
+            threshold_vec = state.threshold_vector(r_max)
+        active = _scratch(
+            workspace, "nb_active_nodes", graph.num_nodes, np.int64
+        )
+        count = int(
+            self._kernels.collect_active(state.residue, threshold_vec, active)
+        )
+        if count == 0:
+            return 0
+        if count <= dense_fraction * graph.num_nodes:
+            self.frontier_push(state, active[:count], workspace=workspace)
+        else:
+            self.global_sweep(state, count_all_edges=False)
+        return count
+
+    # -- block (multi-source) kernels ----------------------------------
+    def block_global_sweep(
+        self,
+        state: BlockPushState,
+        rows: np.ndarray,
+        *,
+        count_all_edges: bool = False,
+        workspace: Workspace | None = None,
+    ) -> None:
+        graph = state.graph
+        num_rows = rows.shape[0]
+        if num_rows == 0:
+            return
+        pt_indptr, pt_indices, pt_data = graph.pt_csr_arrays()
+        n = graph.num_nodes
+        out = _scratch(workspace, "nb_block_sweep_out", num_rows * n).reshape(
+            num_rows, n
+        )
+        dead_masses = np.zeros(num_rows, dtype=np.float64)
+        holders = np.zeros(num_rows, dtype=np.int64)
+        holder_degrees = np.zeros(num_rows, dtype=np.int64)
+        self._kernels.block_global_sweep(
+            pt_indptr,
+            pt_indices,
+            pt_data,
+            state.residue,
+            state.reserve,
+            np.ascontiguousarray(rows, dtype=np.int64),
+            out,
+            state.alpha,
+            not count_all_edges,
+            graph.out_degree,
+            graph.dead_ends,
+            dead_masses,
+            holders,
+            holder_degrees,
+        )
+        if count_all_edges:
+            state.count_bulk_pushes(rows, graph.num_nodes, graph.num_edges)
+        else:
+            state.count_bulk_pushes(rows, holders, holder_degrees)
+        self._route_block_dead_mass(state, rows, dead_masses)
+        state.r_sum[rows] = state.residue[rows].sum(axis=1)
+
+    def block_frontier_push(
+        self,
+        state: BlockPushState,
+        rows: np.ndarray,
+        masks: np.ndarray,
+        *,
+        workspace: Workspace | None = None,
+    ) -> None:
+        graph = state.graph
+        num_rows = rows.shape[0]
+        if num_rows == 0:
+            return
+        # Row-major nonzero: per row, active columns ascending — the
+        # exact node order the single-source loop pushes in.  Flattened
+        # (cols, segments) keeps the compiled work proportional to the
+        # frontier sizes instead of O(rows x n) mask scans.
+        frontier_sizes = np.count_nonzero(masks, axis=1)
+        total = int(frontier_sizes.sum())
+        if total == 0:
+            return
+        _, cols = np.nonzero(masks)
+        segments = np.zeros(num_rows + 1, dtype=np.int64)
+        np.cumsum(frontier_sizes, out=segments[1:])
+        r_old = _scratch(workspace, "nb_block_r_pushed", total)
+        pushed_masses = np.zeros(num_rows, dtype=np.float64)
+        dead_masses = np.zeros(num_rows, dtype=np.float64)
+        update_counts = np.zeros(num_rows, dtype=np.int64)
+        self._kernels.block_frontier_push(
+            graph.out_indptr,
+            graph.out_indices,
+            state.residue,
+            state.reserve,
+            np.ascontiguousarray(rows, dtype=np.int64),
+            np.ascontiguousarray(cols, dtype=np.int64),
+            segments,
+            r_old,
+            state.alpha,
+            pushed_masses,
+            dead_masses,
+            update_counts,
+        )
+        state.count_bulk_pushes(rows, frontier_sizes, update_counts)
+        self._route_block_dead_mass(state, rows, dead_masses)
+        state.note_r_sum_deltas(rows, -state.alpha * pushed_masses)
+
+    def block_sweep_active(
+        self,
+        state: BlockPushState,
+        rows: np.ndarray,
+        masks: np.ndarray,
+        *,
+        dense_fraction: float,
+        workspace: Workspace | None = None,
+    ) -> np.ndarray:
+        graph = state.graph
+        num_active = np.count_nonzero(masks, axis=1)
+        local = (num_active > 0) & (
+            num_active <= dense_fraction * graph.num_nodes
+        )
+        dense = num_active > dense_fraction * graph.num_nodes
+        if local.any():
+            self.block_frontier_push(
+                state, rows[local], masks[local], workspace=workspace
+            )
+        if dense.any():
+            self.block_global_sweep(
+                state,
+                rows[dense],
+                count_all_edges=False,
+                workspace=workspace,
+            )
+        return num_active
+
+    @staticmethod
+    def _route_block_dead_mass(
+        state: BlockPushState, rows: np.ndarray, dead_masses: np.ndarray
+    ) -> None:
+        """Apply per-row dead-end masses via the reference policy code."""
+        from repro.core.kernels import _apply_block_dead_end_mass
+
+        if not np.any(dead_masses != 0.0):
+            return
+        for position in range(rows.shape[0]):
+            _apply_block_dead_end_mass(
+                state, int(rows[position]), float(dead_masses[position])
+            )

@@ -1,0 +1,111 @@
+"""The always-available reference backend.
+
+Delegates every kernel to the NumPy bodies in
+:mod:`repro.core.kernels` — this backend *is* the reference
+implementation, so selecting ``backend="numpy"`` explicitly is
+byte-identical to not selecting a backend at all (the golden-trace
+suite relies on exactly this).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.backends.base import KernelBackend
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.residues import BlockPushState, PushState
+    from repro.core.workspace import Workspace
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(KernelBackend):
+    """Reference kernels: vectorised NumPy gather/scatter + scipy mat-vec."""
+
+    name = "numpy"
+    compiled = False
+
+    def global_sweep(
+        self, state: PushState, *, count_all_edges: bool = True
+    ) -> None:
+        from repro.core import kernels
+
+        kernels.global_sweep(state, count_all_edges=count_all_edges)
+
+    def frontier_push(
+        self,
+        state: PushState,
+        nodes: np.ndarray,
+        *,
+        workspace: Workspace | None = None,
+    ) -> None:
+        from repro.core import kernels
+
+        kernels.frontier_push(state, nodes, workspace=workspace)
+
+    def sweep_active(
+        self,
+        state: PushState,
+        r_max: float,
+        *,
+        dense_fraction: float,
+        threshold_vec: np.ndarray | None = None,
+        workspace: Workspace | None = None,
+    ) -> int:
+        from repro.core import kernels
+
+        return kernels.sweep_active(
+            state,
+            r_max,
+            dense_fraction=dense_fraction,
+            threshold_vec=threshold_vec,
+            workspace=workspace,
+        )
+
+    def block_global_sweep(
+        self,
+        state: BlockPushState,
+        rows: np.ndarray,
+        *,
+        count_all_edges: bool = False,
+        workspace: Workspace | None = None,
+    ) -> None:
+        from repro.core import kernels
+
+        kernels.block_global_sweep(
+            state, rows, count_all_edges=count_all_edges, workspace=workspace
+        )
+
+    def block_frontier_push(
+        self,
+        state: BlockPushState,
+        rows: np.ndarray,
+        masks: np.ndarray,
+        *,
+        workspace: Workspace | None = None,
+    ) -> None:
+        from repro.core import kernels
+
+        kernels.block_frontier_push(state, rows, masks, workspace=workspace)
+
+    def block_sweep_active(
+        self,
+        state: BlockPushState,
+        rows: np.ndarray,
+        masks: np.ndarray,
+        *,
+        dense_fraction: float,
+        workspace: Workspace | None = None,
+    ) -> np.ndarray:
+        from repro.core import kernels
+
+        return kernels.block_sweep_active(
+            state,
+            rows,
+            masks,
+            dense_fraction=dense_fraction,
+            workspace=workspace,
+        )

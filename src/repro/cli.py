@@ -111,6 +111,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for the stochastic methods (reproducible shell queries)",
     )
+    query.add_argument(
+        "--backend",
+        default=None,
+        metavar="BACKEND",
+        help=(
+            "kernel backend (numpy | numba); default: the "
+            "REPRO_PPR_BACKEND environment variable, else numpy"
+        ),
+    )
+    query.add_argument(
+        "--reorder",
+        choices=("degree", "slashburn"),
+        default=None,
+        help="serve from a cache-aware reordered copy of the graph",
+    )
 
     sub.add_parser("list", help="list experiments, datasets, and methods")
 
@@ -164,6 +179,15 @@ def build_parser() -> argparse.ArgumentParser:
     kernels.add_argument("--seed", type=int, default=2021)
     kernels.add_argument(
         "--repeats", type=int, default=3, help="timing runs (best is kept)"
+    )
+    kernels.add_argument(
+        "--backends",
+        default="auto",
+        metavar="LIST",
+        help=(
+            "comma-separated kernel backends to compare (default 'auto': "
+            "numpy plus numba when importable)"
+        ),
     )
     kernels.add_argument(
         "--out",
@@ -271,6 +295,8 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _cmd_list() -> int:
+    from repro.backends import available_backends, registered_backends
+
     print("experiments:")
     for key, (description, _) in EXPERIMENTS.items():
         print(f"  {key}: {description}")
@@ -281,6 +307,11 @@ def _cmd_list() -> int:
     for spec in solver_specs():
         aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
         print(f"  {spec.name} [{spec.kind}]{aliases}: {spec.summary}")
+    print("backends:")
+    usable = set(available_backends())
+    for name in registered_backends():
+        status = "available" if name in usable else "not installed (falls back to numpy)"
+        print(f"  {name}: {status}")
     return 0
 
 
@@ -350,6 +381,7 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         seed=args.seed,
         repeats=args.repeats,
+        backends=args.backends,
     )
     print(report.render())
     path = report.write_json(args.out)
@@ -565,7 +597,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
         from repro.graph.dynamic import DynamicGraph
 
         dynamic = DynamicGraph(load_dataset(args.dataset))
-        engine = PPREngine(dynamic, alpha=args.alpha, seed=args.seed)
+        # reorder= is rejected by the engine for dynamic graphs; pass it
+        # through so the user gets the real error, not a silent drop.
+        engine = PPREngine(
+            dynamic,
+            alpha=args.alpha,
+            seed=args.seed,
+            backend=args.backend,
+            reorder=args.reorder,
+        )
         result = engine.query(
             args.source,
             method="incremental",
@@ -574,7 +614,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return _print_query_result(args, dynamic.base, result)
     spec, implied = resolve_method(args.method)  # fail fast, pre dataset load
     graph = load_dataset(args.dataset)
-    engine = PPREngine(graph, alpha=args.alpha, seed=args.seed)
+    engine = PPREngine(
+        graph,
+        alpha=args.alpha,
+        seed=args.seed,
+        backend=args.backend,
+        reorder=args.reorder,
+    )
     # Offer the full unified parameter set; the spec keeps what it knows.
     candidates = {
         "l1_threshold": args.l1_threshold,

@@ -49,14 +49,51 @@ Scratch buffers: the frontier kernels accept an optional
 :class:`~repro.core.workspace.Workspace`; callers that push in a loop
 (the solvers) thread one through so the frontier-sized temporaries are
 reused instead of reallocated every call.
+
+Pluggable backends and what the compiled path removes
+-----------------------------------------------------
+Every kernel accepts an optional ``backend``
+(:class:`~repro.backends.KernelBackend`); ``None`` — the default, and
+what the ``numpy`` reference backend resolves to — runs the NumPy
+bodies in this module, so golden traces stay byte-identical.  A
+compiled backend (``numba``) replaces the *constant-factor* terms of
+the cost model above, not its asymptotics:
+
+* the frontier push's three ``O(total)`` staging passes (position
+  cumsum, target gather, share ``repeat``) and the ``O(n)``
+  ``bincount`` scatter collapse into **one** loop over the frontier's
+  CSR ranges — each edge is touched exactly once and the share stays
+  in a register, so a sparse late-epoch frontier costs
+  ``O(sum of frontier degrees)`` with no ``O(n)``-sized scatter term
+  and no per-call NumPy dispatch overhead;
+* the global sweep's scipy mat-vec dispatch and the separate ``O(n)``
+  reserve/billing passes fuse into one loop over ``P^T``;
+* the block kernels drop the union-frontier staging entirely — the
+  ``(B x total)`` share/weight matrices the 2-D ``bincount`` scatter
+  needs (zero-filled even where a row is inactive) are replaced by
+  per-row loops that only walk the row's own active ranges, run in
+  parallel over the row dimension (``prange``).
+
+Empty frontiers are handled *before* backend dispatch: a push with no
+nodes (or a block push with no active mask) returns immediately
+without requesting a single workspace buffer, so late epochs that
+probe an exhausted frontier cost nothing on any backend.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.residues import BlockPushState, PushState
 from repro.core.workspace import Workspace
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    # Runtime import would be circular: repro.backends pulls in
+    # repro.core at its own import time.  Dispatch below only calls
+    # methods on the passed object, so the type is annotation-only.
+    from repro.backends.base import KernelBackend
 
 try:  # pragma: no cover - import guard for exotic scipy builds
     from scipy.sparse._sparsetools import csr_matvecs as _csr_matvecs
@@ -78,6 +115,14 @@ __all__ = [
 # scan_threshold = n/4 default.
 DENSE_SWEEP_FRACTION = 0.25
 
+# Shared zero-length results for the empty-frontier fast paths: late
+# epochs probe exhausted/dead frontiers often, and those probes should
+# allocate nothing at all (see the regression tests).
+_EMPTY_INT32 = np.empty(0, dtype=np.int32)
+_EMPTY_INT32.flags.writeable = False
+_EMPTY_INT64 = np.empty(0, dtype=np.int64)
+_EMPTY_INT64.flags.writeable = False
+
 
 def frontier_edge_targets(
     graph, nodes: np.ndarray, *, workspace: Workspace | None = None
@@ -98,12 +143,16 @@ def frontier_edge_targets(
     buffers — the returned ``targets`` is then only valid until the
     next workspace request, so consume it before pushing again.
     """
+    if nodes.shape[0] == 0:
+        # Fast path: no nodes means no gather — return shared empties
+        # without touching the workspace or allocating.
+        return _EMPTY_INT32, _EMPTY_INT64
     indptr = graph.out_indptr
     starts = indptr[nodes]
     counts = (indptr[nodes + 1] - starts).astype(np.int64)
     total = int(counts.sum())
     if total == 0:
-        return np.empty(0, dtype=graph.out_indices.dtype), counts
+        return _EMPTY_INT32, counts
 
     if workspace is not None:
         positions = workspace.buffer("gather_positions", total, np.int64)
@@ -137,6 +186,7 @@ def global_sweep(
     state: PushState,
     *,
     count_all_edges: bool = True,
+    backend: "KernelBackend | None" = None,
 ) -> None:
     """One simultaneous push of every node — a Power-Iteration step.
 
@@ -151,7 +201,13 @@ def global_sweep(
         updates — the global approach touches every edge.  When False
         (SimFwdPush semantics) only the out-degrees of nodes holding
         residue are billed.
+    backend:
+        Optional non-reference :class:`~repro.backends.KernelBackend`
+        to run the sweep on; ``None`` runs the NumPy body below.
     """
+    if backend is not None:
+        backend.global_sweep(state, count_all_edges=count_all_edges)
+        return
     graph = state.graph
     r = state.residue
     alpha = state.alpha
@@ -183,13 +239,21 @@ def frontier_push(
     nodes: np.ndarray,
     *,
     workspace: Workspace | None = None,
+    backend: "KernelBackend | None" = None,
 ) -> None:
     """Simultaneously push exactly ``nodes`` (gather/scatter path).
 
     Contributions are based on the residues at entry; the pushed nodes'
     residues are zeroed first so self-loop edges re-deposit correctly.
+
+    An empty ``nodes`` returns before dispatching to any backend and
+    before requesting any workspace buffer (the empty-frontier fast
+    path late epochs rely on).
     """
     if nodes.shape[0] == 0:
+        return
+    if backend is not None:
+        backend.frontier_push(state, nodes, workspace=workspace)
         return
     graph = state.graph
     alpha = state.alpha
@@ -225,6 +289,7 @@ def sweep_active(
     dense_fraction: float = DENSE_SWEEP_FRACTION,
     threshold_vec: np.ndarray | None = None,
     workspace: Workspace | None = None,
+    backend: "KernelBackend | None" = None,
 ) -> int:
     """Push all currently-active nodes once; return how many were pushed.
 
@@ -245,6 +310,14 @@ def sweep_active(
         that sweep repeatedly at a fixed ``r_max`` (epoch loops) pass
         it to avoid recomputing the products every sweep.
     """
+    if backend is not None:
+        return backend.sweep_active(
+            state,
+            r_max,
+            dense_fraction=dense_fraction,
+            threshold_vec=threshold_vec,
+            workspace=workspace,
+        )
     graph = state.graph
     if threshold_vec is None:
         active = state.active_mask(r_max)
@@ -328,9 +401,9 @@ def _block_propagate(
     num_rows, n = scaled.shape
     if _csr_matvecs is None or workspace is None:
         return matrix.dot(np.ascontiguousarray(scaled.T))
-    operand = workspace.buffer("matmat_in", n * num_rows).reshape(n, num_rows)
+    operand = workspace.buffer2d("matmat_in", n, num_rows)
     operand[:] = scaled.T
-    moved = workspace.buffer("matmat_out", n * num_rows).reshape(n, num_rows)
+    moved = workspace.buffer2d("matmat_out", n, num_rows)
     moved[:] = 0.0
     _csr_matvecs(
         n,
@@ -351,6 +424,7 @@ def block_global_sweep(
     *,
     count_all_edges: bool = False,
     workspace: Workspace | None = None,
+    backend: "KernelBackend | None" = None,
 ) -> None:
     """One Power-Iteration step for every row in ``rows`` at once.
 
@@ -358,6 +432,13 @@ def block_global_sweep(
     mat-vecs: the CSR index scan — the memory-bound part of a sweep —
     is paid once for the whole block.
     """
+    if rows.shape[0] == 0:
+        return
+    if backend is not None:
+        backend.block_global_sweep(
+            state, rows, count_all_edges=count_all_edges, workspace=workspace
+        )
+        return
     graph = state.graph
     alpha = state.alpha
     # Sweeping the whole block in order (the common lockstep case)
@@ -435,6 +516,7 @@ def block_frontier_push(
     masks: np.ndarray,
     *,
     workspace: Workspace | None = None,
+    backend: "KernelBackend | None" = None,
 ) -> None:
     """Push each row's own frontier through one shared gather/scatter.
 
@@ -453,7 +535,15 @@ def block_frontier_push(
     ``local_row * n + target`` indexes.  A union node inactive in some
     row contributes an exact ``+0.0`` there, so each row's result is
     bitwise what :func:`frontier_push` on its own frontier produces.
+
+    An empty ``rows`` (or all-empty ``masks``) returns before backend
+    dispatch without requesting any workspace buffer.
     """
+    if rows.shape[0] == 0:
+        return
+    if backend is not None:
+        backend.block_frontier_push(state, rows, masks, workspace=workspace)
+        return
     graph = state.graph
     alpha = state.alpha
     n = graph.num_nodes
@@ -564,6 +654,7 @@ def block_sweep_active(
     *,
     dense_fraction: float = DENSE_SWEEP_FRACTION,
     workspace: Workspace | None = None,
+    backend: "KernelBackend | None" = None,
 ) -> np.ndarray:
     """Sweep each row once, switching global/local **per row**.
 
@@ -574,6 +665,14 @@ def block_sweep_active(
     Returns the per-row active counts (0 marks a row that did not
     push).
     """
+    if backend is not None:
+        return backend.block_sweep_active(
+            state,
+            rows,
+            masks,
+            dense_fraction=dense_fraction,
+            workspace=workspace,
+        )
     graph = state.graph
     num_active = np.count_nonzero(masks, axis=1)
     local = (num_active > 0) & (num_active <= dense_fraction * graph.num_nodes)

@@ -32,6 +32,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro.backends import KernelBackend, active_backend
 from repro.core.kernels import (
     DENSE_SWEEP_FRACTION,
     block_frontier_push,
@@ -103,6 +104,7 @@ def power_push(
     dead_end_policy: DeadEndPolicy = "redirect-to-source",
     trace: ConvergenceTrace | None = None,
     max_work_factor: float = 64.0,
+    backend: str | KernelBackend | None = None,
 ) -> PPRResult:
     """Answer a high-precision SSPPR query with PowerPush (Algorithm 3).
 
@@ -116,14 +118,21 @@ def power_push(
         constants (``epoch_num=8``, ``scan_threshold=n/4``).
     mode:
         ``"faithful"`` runs the scalar pseudo-code; ``"vectorized"``
-        (chosen by ``"auto"``) runs the NumPy kernels.
+        (chosen by ``"auto"``) runs the push kernels on the selected
+        backend.
     max_work_factor:
         Safety multiplier on the theoretical sweep budget before a
         :class:`ConvergenceError` is raised.
+    backend:
+        Kernel backend name or instance for the vectorised mode
+        (``None`` consults ``REPRO_PPR_BACKEND``, defaulting to the
+        NumPy reference).  The faithful scalar mode always runs the
+        pseudo-code verbatim and ignores it.
     """
     check_alpha(alpha)
     check_source(graph, source)
     check_l1_threshold(l1_threshold)
+    kernel_backend = active_backend(backend)
     if config is None:
         config = PowerPushConfig()
     if mode == "auto":
@@ -146,7 +155,14 @@ def power_push(
     elif mode == "faithful":
         _run_faithful(state, l1_threshold, config, trace, max_work_factor)
     else:
-        _run_vectorized(state, l1_threshold, config, trace, max_work_factor)
+        _run_vectorized(
+            state,
+            l1_threshold,
+            config,
+            trace,
+            max_work_factor,
+            backend=kernel_backend,
+        )
 
     state.refresh_r_sum()
     if trace is not None:
@@ -229,6 +245,7 @@ def _run_vectorized(
     config: PowerPushConfig,
     trace: ConvergenceTrace | None,
     max_work_factor: float,
+    backend: KernelBackend | None = None,
 ) -> None:
     graph = state.graph
     n, m = graph.num_nodes, graph.num_edges
@@ -245,7 +262,7 @@ def _run_vectorized(
         frontier = state.active_nodes(r_max)
         if frontier.shape[0] == 0 or frontier.shape[0] > scan_threshold:
             break
-        frontier_push(state, frontier, workspace=workspace)
+        frontier_push(state, frontier, workspace=workspace, backend=backend)
         state.counters.queue_appends += frontier.shape[0]
         _check_budget(state, budget)
         if trace is not None:
@@ -264,6 +281,7 @@ def _run_vectorized(
                     epoch_r_max,
                     threshold_vec=threshold_vec,
                     workspace=workspace,
+                    backend=backend,
                 )
                 if pushed == 0:
                     state.refresh_r_sum()
@@ -293,6 +311,7 @@ def power_push_block(
     dead_end_policy: DeadEndPolicy = "redirect-to-source",
     max_work_factor: float = 64.0,
     workspace: Workspace | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> list[PPRResult]:
     """Answer many high-precision SSPPR queries in one block solve.
 
@@ -319,6 +338,7 @@ def power_push_block(
     """
     check_alpha(alpha)
     check_l1_threshold(l1_threshold)
+    kernel_backend = active_backend(backend)
     sources = [check_source(graph, int(s)) for s in sources]
     if not sources:
         return []
@@ -346,7 +366,14 @@ def power_push_block(
     )
     if workspace is None:
         workspace = Workspace()
-    _run_block(state, l1_threshold, config, max_work_factor, workspace)
+    _run_block(
+        state,
+        l1_threshold,
+        config,
+        max_work_factor,
+        workspace,
+        backend=kernel_backend,
+    )
 
     elapsed = time.perf_counter() - started
     num_rows = state.num_rows
@@ -375,6 +402,7 @@ def _run_block(
     config: PowerPushConfig,
     max_work_factor: float,
     workspace: Workspace,
+    backend: KernelBackend | None = None,
 ) -> None:
     """Round-based block schedule; see :func:`power_push_block`.
 
@@ -527,12 +555,12 @@ def _run_block(
         if push_local.any():
             block_frontier_push(
                 state, live[push_local], masks[push_local],
-                workspace=workspace,
+                workspace=workspace, backend=backend,
             )
         if push_global.any():
             block_global_sweep(
                 state, live[push_global], count_all_edges=False,
-                workspace=workspace,
+                workspace=workspace, backend=backend,
             )
 
         # Post-push bookkeeping, in the same order the single-source

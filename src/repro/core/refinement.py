@@ -13,8 +13,10 @@ existing :class:`PushState`, using the auto-switching sweep kernel.
 
 from __future__ import annotations
 
+from repro.backends import KernelBackend, active_backend
 from repro.core.kernels import sweep_active
 from repro.core.residues import PushState
+from repro.core.workspace import Workspace
 from repro.core.validation import check_r_max
 from repro.errors import ConvergenceError, ParameterError
 
@@ -26,14 +28,19 @@ def refine_to_r_max(
     r_max: float,
     *,
     max_sweeps: int | None = None,
+    backend: "str | KernelBackend | None" = None,
 ) -> PushState:
     """Push until no node is active w.r.t. ``r_max``; return the state.
 
     The state is modified in place (and also returned for chaining).
+    The remaining sweeps run on the selected kernel ``backend`` (None
+    resolves the env-var/NumPy default).
     """
     check_r_max(r_max)
     if r_max == 0.0:
         raise ParameterError("r_max must be positive for refinement")
+    kernel_backend = active_backend(backend)
+    workspace = Workspace()
     if max_sweeps is None:
         import math
 
@@ -48,7 +55,13 @@ def refine_to_r_max(
     threshold_vec = state.threshold_vector(r_max)
     sweeps = 0
     while True:
-        pushed = sweep_active(state, r_max, threshold_vec=threshold_vec)
+        pushed = sweep_active(
+            state,
+            r_max,
+            threshold_vec=threshold_vec,
+            workspace=workspace,
+            backend=kernel_backend,
+        )
         if pushed == 0:
             break
         sweeps += 1

@@ -22,7 +22,9 @@ import time
 
 import numpy as np
 
+from repro.backends import KernelBackend, active_backend
 from repro.core.kernels import frontier_push
+from repro.core.workspace import Workspace
 from repro.core.residues import DeadEndPolicy, PushState
 from repro.core.result import PPRResult
 from repro.core.validation import check_alpha, check_l1_threshold, check_source
@@ -43,6 +45,7 @@ def simultaneous_forward_push(
     max_iterations: int | None = None,
     trace: ConvergenceTrace | None = None,
     record_iterates: bool = False,
+    backend: "str | KernelBackend | None" = None,
 ) -> PPRResult | tuple[PPRResult, list[dict[str, np.ndarray]]]:
     """Run SimFwdPush until the exact l1-error drops below ``lambda``.
 
@@ -56,6 +59,8 @@ def simultaneous_forward_push(
     check_alpha(alpha)
     check_source(graph, source)
     check_l1_threshold(l1_threshold)
+    kernel_backend = active_backend(backend)
+    workspace = Workspace()
     if max_iterations is None:
         import math
 
@@ -79,7 +84,9 @@ def simultaneous_forward_push(
                 f"(r_sum={state.r_sum:.3e}, lambda={l1_threshold:.3e})"
             )
         active = np.flatnonzero(state.residue > 0.0)
-        frontier_push(state, active)
+        frontier_push(
+            state, active, workspace=workspace, backend=kernel_backend
+        )
         state.refresh_r_sum()
         iterations += 1
         state.counters.iterations = iterations

@@ -62,6 +62,17 @@ class Workspace:
         self.allocations += 1
         return fresh[:size]
 
+    def buffer2d(
+        self, key: str, rows: int, cols: int, dtype=np.float64
+    ) -> np.ndarray:
+        """A ``(rows, cols)`` scratch matrix backed by the 1-D pool.
+
+        Same contract as :meth:`buffer` (a reshaped prefix view,
+        invalidated by the next request for ``key``); the kernels'
+        block paths use it for their row-major staging matrices.
+        """
+        return self.buffer(key, rows * cols, dtype).reshape(rows, cols)
+
     @property
     def reused(self) -> int:
         """Requests served without allocating."""

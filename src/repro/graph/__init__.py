@@ -26,7 +26,14 @@ from repro.graph.io import (
     write_edge_list,
 )
 from repro.graph.stats import GraphStats, compute_stats
-from repro.graph.transforms import DeadEndRule, apply_dead_end_rule, symmetrize
+from repro.graph.transforms import (
+    DeadEndRule,
+    ReorderResult,
+    ReorderStrategy,
+    apply_dead_end_rule,
+    reorder_for_locality,
+    symmetrize,
+)
 
 __all__ = [
     "DiGraph",
@@ -52,6 +59,9 @@ __all__ = [
     "GraphStats",
     "compute_stats",
     "DeadEndRule",
+    "ReorderResult",
+    "ReorderStrategy",
     "apply_dead_end_rule",
+    "reorder_for_locality",
     "symmetrize",
 ]

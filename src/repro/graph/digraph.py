@@ -304,6 +304,17 @@ class DiGraph:
             self._pt_matrix = self.to_scipy_csr(weighted=True).T.tocsr()
         return self._pt_matrix
 
+    def pt_csr_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Raw ``(indptr, indices, data)`` of the cached ``P^T`` CSR.
+
+        Compiled kernel backends (:mod:`repro.backends.numba_backend`)
+        loop over these arrays directly instead of going through the
+        scipy matrix object, so the accessor keeps scipy types out of
+        the backend layer while sharing the one cached transpose.
+        """
+        matrix = self.transition_matrix_transpose()
+        return matrix.indptr, matrix.indices, matrix.data
+
     def warm_push_caches(self) -> "DiGraph":
         """Materialise every cached artefact the push kernels read.
 

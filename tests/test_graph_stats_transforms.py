@@ -6,7 +6,11 @@ import pytest
 from repro.errors import ParameterError
 from repro.graph.build import complete_graph, from_edges, star_graph
 from repro.graph.stats import compute_stats, format_si, power_law_exponent_mle
-from repro.graph.transforms import apply_dead_end_rule, symmetrize
+from repro.graph.transforms import (
+    apply_dead_end_rule,
+    reorder_for_locality,
+    symmetrize,
+)
 
 
 class TestStats:
@@ -94,3 +98,137 @@ class TestDeadEndRules:
     def test_unknown_rule_rejected(self, dead_end_graph):
         with pytest.raises(ParameterError):
             apply_dead_end_rule(dead_end_graph, "nonsense")  # type: ignore[arg-type]
+
+
+class TestReorderForLocality:
+    def _graph(self, seed: int = 3):
+        from repro.generators.rmat import rmat_digraph
+
+        return rmat_digraph(
+            7, 800, rng=np.random.default_rng(seed), name="reorder-t"
+        )
+
+    @pytest.mark.parametrize("strategy", ["degree", "slashburn"])
+    def test_produces_isomorphic_relabelling(self, strategy):
+        graph = self._graph()
+        result = reorder_for_locality(graph, strategy=strategy)
+        assert result.strategy == strategy
+        n = graph.num_nodes
+        # order/inverse are mutually inverse permutations of 0..n-1
+        np.testing.assert_array_equal(np.sort(result.order), np.arange(n))
+        np.testing.assert_array_equal(
+            result.order[result.inverse], np.arange(n)
+        )
+        assert result.graph.num_nodes == n
+        assert result.graph.num_edges == graph.num_edges
+        # Degrees travel with the node through the relabelling.
+        np.testing.assert_array_equal(
+            result.graph.out_degree[result.inverse], graph.out_degree
+        )
+        # Spot-check edge preservation on real edges.
+        sources, targets = graph.edge_array()
+        for position in range(0, sources.shape[0], 97):
+            u, v = int(sources[position]), int(targets[position])
+            assert result.graph.has_edge(
+                result.to_internal(u), result.to_internal(v)
+            )
+
+    def test_degree_strategy_puts_hubs_first(self):
+        graph = self._graph()
+        result = reorder_for_locality(graph, strategy="degree")
+        total = graph.out_degree + graph.in_degree
+        reordered_totals = total[result.order]
+        assert np.all(np.diff(reordered_totals) <= 0)  # descending
+
+    def test_restore_vector_round_trips(self):
+        graph = self._graph()
+        result = reorder_for_locality(graph, strategy="degree")
+        external = np.arange(graph.num_nodes, dtype=np.float64) * 1.5
+        internal = external[result.order]  # internal[new] = ext[order[new]]
+        np.testing.assert_array_equal(
+            result.restore_vector(internal), external
+        )
+        # Also along the last axis of a block.
+        block = np.stack([internal, internal * 2.0])
+        np.testing.assert_array_equal(
+            result.restore_vector(block)[1], external * 2.0
+        )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ParameterError):
+            reorder_for_locality(self._graph(), strategy="random")  # type: ignore[arg-type]
+
+    def test_preserves_self_loops_and_multiplicity(self):
+        graph = from_edges(
+            [(0, 1), (0, 1), (1, 1), (1, 0), (2, 0)],
+            dedup=False,
+            drop_self_loops=False,
+        )
+        result = reorder_for_locality(graph, strategy="degree")
+        assert result.graph.num_edges == graph.num_edges
+        loop = result.to_internal(1)
+        assert result.graph.has_edge(loop, loop)
+
+
+class TestEngineReorder:
+    """PPREngine(reorder=...) serves original ids over a reordered CSR."""
+
+    def _engines(self, strategy):
+        from repro.api import PPREngine
+        from repro.generators.rmat import rmat_digraph
+
+        graph = rmat_digraph(7, 900, rng=np.random.default_rng(11))
+        return graph, PPREngine(graph, seed=5), PPREngine(
+            graph, seed=5, reorder=strategy
+        )
+
+    @pytest.mark.parametrize("strategy", ["degree", "slashburn"])
+    def test_query_matches_plain_engine(self, strategy):
+        _, plain, reordered = self._engines(strategy)
+        for source in (0, 17, 63):
+            a = plain.query(source, "powerpush", l1_threshold=1e-8)
+            b = reordered.query(source, "powerpush", l1_threshold=1e-8)
+            assert b.source == source
+            assert np.abs(a.estimate - b.estimate).sum() < 1e-12
+            assert np.abs(a.residue - b.residue).sum() < 1e-12
+
+    def test_block_batch_matches_plain_engine(self):
+        _, plain, reordered = self._engines("degree")
+        a = plain.batch_query([2, 9, 33, 41], "powerpush")
+        b = reordered.batch_query([2, 9, 33, 41], "powerpush")
+        assert reordered.block_batches == 1
+        for x, y in zip(a, b):
+            assert x.source == y.source
+            assert np.abs(x.estimate - y.estimate).sum() < 1e-12
+
+    def test_top_k_reports_original_ids(self):
+        _, plain, reordered = self._engines("degree")
+        a = plain.top_k(3, 5)
+        b = reordered.top_k(3, 5)
+        assert [node for node, _ in a.ranking] == [
+            node for node, _ in b.ranking
+        ]
+        assert a.certified == b.certified
+
+    def test_seeded_montecarlo_batch_mass_conserved(self):
+        _, _, reordered = self._engines("degree")
+        results = reordered.batch_query(
+            [1, 2, 3], "montecarlo", seed=7, num_walks=300
+        )
+        for result, source in zip(results, (1, 2, 3)):
+            assert result.source == source
+            assert abs(result.estimate.sum() - 1.0) < 1e-9
+
+    def test_dynamic_graph_rejected(self):
+        from repro.api import PPREngine
+        from repro.graph.dynamic import DynamicGraph
+
+        dynamic = DynamicGraph(star_graph(4))
+        with pytest.raises(ParameterError, match="reorder"):
+            PPREngine(dynamic, reorder="degree")
+
+    def test_reordering_property_exposed(self):
+        graph, _, reordered = self._engines("degree")
+        assert reordered.reordering is not None
+        assert reordered.reordering.strategy == "degree"
+        assert reordered.graph.num_edges == graph.num_edges
