@@ -1,0 +1,204 @@
+"""Serving-layer rules: version stamping and lock discipline.
+
+The serving layer multiplexes one mutable engine across reader threads;
+its two standing hazards are stale-version answers (a memoised result
+outliving the graph snapshot it was computed on) and writer-lock
+convoys (blocking work performed while holding the exclusive side of
+the RWLock).  Both are invariants the type system cannot express, so
+they live here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.corpus import SourceFile
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, dotted_name, register_rule
+
+_MEMO_PACKAGES = ("repro.api", "repro.serving")
+
+#: Method names that mark a class as a read side of a memo/cache.
+_GETTERS = frozenset({"get", "lookup", "fetch", "__getitem__"})
+#: Method names that mark a class as a write side of a memo/cache.
+_PUTTERS = frozenset({"put", "insert", "store", "set", "__setitem__"})
+
+
+@register_rule
+class VersionStampRule(Rule):
+    id = "version-stamp"
+    summary = (
+        "memoising classes in repro.api / repro.serving stamp and "
+        "check a graph version"
+    )
+    invariant = (
+        "Every memo keyed on graph-derived data carries the graph "
+        "version it was computed under and validates it on lookup; a "
+        "version-blind cache silently serves answers for a graph that "
+        "no longer exists after apply_updates."
+    )
+
+    def check_file(self, file: SourceFile) -> Iterable[Finding]:
+        if not file.in_package(*_MEMO_PACKAGES):
+            return
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if "Cache" not in node.name:
+                continue
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+            }
+            has_get = bool(methods & _GETTERS) or any(
+                name.startswith("get") for name in methods
+            )
+            has_put = bool(methods & _PUTTERS) or any(
+                name.startswith("put") for name in methods
+            )
+            if not (has_get and has_put):
+                # Stats holders and the like: Cache in the name but no
+                # lookup/store surface, nothing to go stale.
+                continue
+            if not self._mentions_version(node):
+                yield self.finding(
+                    file,
+                    node,
+                    f"memoising class {node.name} never references a "
+                    f"version; stamp entries with the graph version and "
+                    f"check it on lookup so apply_updates invalidates "
+                    f"stale answers",
+                )
+
+    @staticmethod
+    def _mentions_version(cls: ast.ClassDef) -> bool:
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Name) and "version" in node.id.lower():
+                return True
+            if (
+                isinstance(node, ast.Attribute)
+                and "version" in node.attr.lower()
+            ):
+                return True
+            if isinstance(node, ast.arg) and "version" in node.arg.lower():
+                return True
+        return False
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    summary = (
+        "no blocking calls while holding the writer lock; no bare or "
+        "swallowed excepts in the serving layer"
+    )
+    invariant = (
+        "The writer side of the RWLock is held only for pointer swaps: "
+        "sleeping, untimed future/event waits, or engine solves under "
+        "it convoy every reader.  Exceptions around future resolution "
+        "are either re-raised or routed to the future, never dropped."
+    )
+
+    _SERVING_PACKAGE = "repro.serving"
+    #: Attribute calls that block their caller when invoked untimed.
+    _UNTIMED_BLOCKERS = frozenset({"result", "wait"})
+    #: Engine entry points that run a full solve.
+    _SOLVE_ATTRS = frozenset({"solve", "batch_query"})
+
+    def check_file(self, file: SourceFile) -> Iterable[Finding]:
+        if not file.in_package(self._SERVING_PACKAGE):
+            return
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.With):
+                yield from self._check_write_region(file, node)
+            elif isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(file, node)
+
+    # -- writer-lock regions -------------------------------------------
+    def _check_write_region(
+        self, file: SourceFile, node: ast.With
+    ) -> Iterable[Finding]:
+        if not any(
+            self._is_write_acquire(item.context_expr) for item in node.items
+        ):
+            return
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Call):
+                    continue
+                blocked = self._blocking_reason(sub)
+                if blocked is not None:
+                    yield self.finding(
+                        file,
+                        sub,
+                        f"{blocked} inside a held writer-lock region; "
+                        f"the write side of the RWLock must be held "
+                        f"only for swap-in, never across blocking work",
+                    )
+
+    @staticmethod
+    def _is_write_acquire(expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        name = dotted_name(expr.func)
+        return name is not None and name.split(".")[-1] == "write"
+
+    def _blocking_reason(self, call: ast.Call) -> str | None:
+        name = dotted_name(call.func)
+        if name == "time.sleep" or (
+            name is not None and name.endswith(".sleep")
+        ):
+            return f"blocking sleep {name}()"
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        attr = call.func.attr
+        if attr in self._SOLVE_ATTRS:
+            return f"engine solve .{attr}()"
+        if attr in self._UNTIMED_BLOCKERS and not call.args:
+            has_timeout = any(
+                kw.arg == "timeout" for kw in call.keywords
+            )
+            if not has_timeout:
+                return f"untimed .{attr}()"
+        return None
+
+    # -- exception hygiene ---------------------------------------------
+    def _check_handler(
+        self, file: SourceFile, handler: ast.ExceptHandler
+    ) -> Iterable[Finding]:
+        if handler.type is None:
+            yield self.finding(
+                file,
+                handler,
+                "bare except: in the serving layer; catch a concrete "
+                "exception type and route it to the pending future",
+            )
+            return
+        name = dotted_name(handler.type)
+        if name not in ("Exception", "BaseException"):
+            return
+        if self._swallows(handler):
+            yield self.finding(
+                file,
+                handler,
+                f"except {name} with a pass-only body swallows the "
+                f"error; re-raise or attach it to the future so a "
+                f"failed request never hangs its caller",
+            )
+
+    @staticmethod
+    def _swallows(handler: ast.ExceptHandler) -> bool:
+        meaningful = [
+            stmt
+            for stmt in handler.body
+            if not isinstance(stmt, ast.Pass)
+            and not (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+            )
+        ]
+        return not meaningful

@@ -1,0 +1,78 @@
+"""Finding and severity types for the static checker.
+
+A :class:`Finding` is one rule violation pinned to a ``path:line:col``
+location.  Findings are plain data — the reporters in
+:mod:`repro.analysis.reporters` render them as text or JSON, and the
+exit code of ``repro-ppr lint`` is derived from the surviving (i.e.
+unsuppressed) findings' severities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How a finding gates the lint run.
+
+    ``ERROR`` findings fail the run (exit code 1); ``WARNING`` findings
+    are reported but do not gate unless ``--strict`` promotes them.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def gates(self) -> bool:
+        """Whether this severity fails the run by default."""
+        return self is Severity.ERROR
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a precise source location.
+
+    Attributes
+    ----------
+    rule:
+        The rule id (kebab-case, e.g. ``"rng-discipline"``).
+    path:
+        Path of the offending file, as given to the analyzer.
+    line, col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human-readable description of the violation (one line).
+    severity:
+        Gate level; rules emit their default unless overridden.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity = Severity.ERROR
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` — the clickable anchor reporters print."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-reporter representation (stable schema, see reporters)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

@@ -1,0 +1,65 @@
+"""Finding reporters: human text and machine JSON.
+
+Both render an :class:`~repro.analysis.runner.AnalysisResult`.  The
+JSON document is a stable schema (``"version": 1``) consumed by the CI
+lint job's step summary; add fields rather than renaming them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: "AnalysisResult", stream: TextIO) -> None:  # noqa: F821
+    """``path:line:col: rule-id: message`` lines plus a summary line."""
+    for finding in result.findings:
+        stream.write(
+            f"{finding.location}: {finding.rule}: {finding.message}\n"
+        )
+    total = len(result.findings)
+    if total == 0:
+        stream.write(
+            f"repro-analysis: {result.checked_files} files checked, "
+            f"no findings\n"
+        )
+    else:
+        noun = "finding" if total == 1 else "findings"
+        stream.write(
+            f"repro-analysis: {result.checked_files} files checked, "
+            f"{total} {noun}\n"
+        )
+
+
+def render_json(result: "AnalysisResult", stream: TextIO) -> None:  # noqa: F821
+    """One JSON document describing the whole run."""
+    by_rule: dict[str, int] = {}
+    for finding in result.findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro-analysis",
+        "checked_files": result.checked_files,
+        "rules": [
+            {
+                "id": rule.id,
+                "scope": rule.scope,
+                "summary": rule.summary,
+            }
+            for rule in result.rules
+        ],
+        "findings": [finding.as_dict() for finding in result.findings],
+        "summary": {
+            "total": len(result.findings),
+            "gating": sum(
+                1 for f in result.findings if f.severity.gates
+            ),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+    }
+    json.dump(document, stream, indent=2, sort_keys=False)
+    stream.write("\n")

@@ -1,0 +1,97 @@
+"""Inline suppression comments: ``# repro: allow[rule-id] -- reason``.
+
+A finding is suppressed when the line it is anchored to carries an
+allow comment naming its rule **and** giving a reason.  The reason is
+mandatory: a bare ``# repro: allow[rule-id]`` suppresses nothing and is
+itself reported by the ``suppression-hygiene`` meta rule, so every
+exemption in the tree documents *why* the invariant does not apply.
+
+Two forms are recognised::
+
+    x = risky()  # repro: allow[rule-id] -- why this is safe here
+    # repro: allow-file[rule-id] -- why this whole file is exempt
+
+``allow-file`` must appear before the first statement (the module
+docstring region) and exempts the whole file from the named rules.
+Multiple rule ids separate with commas: ``allow[rule-a, rule-b]``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppression", "SuppressionSet", "parse_suppressions"]
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow(?P<filewide>-file)?"
+    r"\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*(?:--|:)\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed allow comment."""
+
+    rule: str
+    line: int
+    reason: str | None
+    file_wide: bool
+
+
+@dataclass
+class SuppressionSet:
+    """Every allow comment of one file, indexed for fast lookup."""
+
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    def add(self, suppression: Suppression) -> None:
+        self.suppressions.append(suppression)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` at ``line`` is covered by a reasoned allow."""
+        for suppression in self.suppressions:
+            if suppression.rule != rule or not suppression.reason:
+                continue
+            if suppression.file_wide or suppression.line == line:
+                return True
+        return False
+
+    @property
+    def unreasoned(self) -> list[Suppression]:
+        """Allow comments missing the mandatory reason (not honoured)."""
+        return [s for s in self.suppressions if not s.reason]
+
+
+def parse_suppressions(text: str) -> SuppressionSet:
+    """Extract every allow comment from ``text`` (tokenize-based).
+
+    Comments are read with :mod:`tokenize` so string literals that
+    merely *contain* ``# repro: allow`` never register.  Files with
+    tokenisation errors (the analyzer reports the parse error
+    separately) yield an empty set.
+    """
+    result = SuppressionSet()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return result
+    for line, comment in comments:
+        match = _ALLOW_RE.match(comment.strip())
+        if match is None:
+            continue
+        reason = match.group("reason")
+        file_wide = match.group("filewide") is not None
+        for rule in match.group("rules").split(","):
+            rule = rule.strip()
+            if rule:
+                result.add(Suppression(rule, line, reason, file_wide))
+    return result

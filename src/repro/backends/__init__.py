@@ -136,17 +136,23 @@ def get_backend(name: str) -> KernelBackend:
         )
     factory, probe = entry
     if not probe():
+        # Check-and-set the once-per-process flag under the lock, but
+        # emit outside it: warnings.warn takes the warnings-registry
+        # lock and may run arbitrary user filters/hooks, and holding
+        # our registry lock across that invites lock-order inversions.
         with _LOCK:
-            if key not in _FALLBACKS_WARNED:
+            should_warn = key not in _FALLBACKS_WARNED
+            if should_warn:
                 _FALLBACKS_WARNED.add(key)
-                warnings.warn(
-                    f"backend {key!r} is not available in this environment "
-                    f"(install the optional extra, e.g. "
-                    f"'pip install repro-ppr[{key}]'); falling back to the "
-                    f"{DEFAULT_BACKEND!r} reference backend",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
+        if should_warn:
+            warnings.warn(
+                f"backend {key!r} is not available in this environment "
+                f"(install the optional extra, e.g. "
+                f"'pip install repro-ppr[{key}]'); falling back to the "
+                f"{DEFAULT_BACKEND!r} reference backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return get_backend(DEFAULT_BACKEND)
     with _LOCK:
         instance = _INSTANCES.get(key)

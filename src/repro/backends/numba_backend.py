@@ -41,6 +41,8 @@ import numpy as np
 from repro.backends.base import KernelBackend
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from numpy.typing import DTypeLike
+
     from repro.core.residues import BlockPushState, PushState
     from repro.core.workspace import Workspace
 
@@ -56,7 +58,10 @@ def numba_available() -> bool:
 
 
 def _scratch(
-    workspace: Workspace | None, key: str, size: int, dtype=np.float64
+    workspace: Workspace | None,
+    key: str,
+    size: int,
+    dtype: DTypeLike = np.float64,
 ) -> np.ndarray:
     """A pooled buffer when a workspace is threaded, else a fresh one."""
     if workspace is not None:
@@ -88,8 +93,14 @@ def _build_kernels() -> SimpleNamespace:
 
     @njit(cache=True)
     def frontier_push_loop(
-        indptr, indices, residue, reserve, nodes, r_old, alpha
-    ):
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        residue: np.ndarray,
+        reserve: np.ndarray,
+        nodes: np.ndarray,
+        r_old: np.ndarray,
+        alpha: float,
+    ) -> tuple[float, float, int, int]:
         """Simultaneous push of ``nodes``: settle pass then scatter pass.
 
         The two passes are what makes the loop *simultaneous*: every
@@ -126,16 +137,16 @@ def _build_kernels() -> SimpleNamespace:
 
     @njit(cache=True)
     def global_sweep_loop(
-        pt_indptr,
-        pt_indices,
-        pt_data,
-        residue,
-        reserve,
-        out,
-        alpha,
-        count_holders,
-        out_degree,
-    ):
+        pt_indptr: np.ndarray,
+        pt_indices: np.ndarray,
+        pt_data: np.ndarray,
+        residue: np.ndarray,
+        reserve: np.ndarray,
+        out: np.ndarray,
+        alpha: float,
+        count_holders: bool,
+        out_degree: np.ndarray,
+    ) -> tuple[int, int]:
         """One Power-Iteration step: ``out = (1-alpha) * P^T r`` + reserves.
 
         Also counts the residue holders (and their degree mass) in the
@@ -160,7 +171,11 @@ def _build_kernels() -> SimpleNamespace:
         return holders, holder_degree
 
     @njit(cache=True)
-    def collect_active_loop(residue, threshold_vec, out_nodes):
+    def collect_active_loop(
+        residue: np.ndarray,
+        threshold_vec: np.ndarray,
+        out_nodes: np.ndarray,
+    ) -> int:
         """Gather active node ids (``r > threshold``) in ascending order."""
         count = 0
         for v in range(residue.shape[0]):
@@ -171,21 +186,21 @@ def _build_kernels() -> SimpleNamespace:
 
     @njit(cache=True, parallel=True)
     def block_global_sweep_loop(
-        pt_indptr,
-        pt_indices,
-        pt_data,
-        residue,
-        reserve,
-        rows,
-        out,
-        alpha,
-        count_holders,
-        out_degree,
-        dead,
-        dead_masses,
-        holders,
-        holder_degrees,
-    ):
+        pt_indptr: np.ndarray,
+        pt_indices: np.ndarray,
+        pt_data: np.ndarray,
+        residue: np.ndarray,
+        reserve: np.ndarray,
+        rows: np.ndarray,
+        out: np.ndarray,
+        alpha: float,
+        count_holders: bool,
+        out_degree: np.ndarray,
+        dead: np.ndarray,
+        dead_masses: np.ndarray,
+        holders: np.ndarray,
+        holder_degrees: np.ndarray,
+    ) -> None:
         """Per-row Power-Iteration steps, rows in parallel (``prange``).
 
         Rows never exchange mass, so parallelising the row dimension
@@ -222,19 +237,19 @@ def _build_kernels() -> SimpleNamespace:
 
     @njit(cache=True, parallel=True)
     def block_frontier_push_loop(
-        indptr,
-        indices,
-        residue,
-        reserve,
-        rows,
-        cols,
-        segments,
-        r_old,
-        alpha,
-        pushed_masses,
-        dead_masses,
-        update_counts,
-    ):
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        residue: np.ndarray,
+        reserve: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        segments: np.ndarray,
+        r_old: np.ndarray,
+        alpha: float,
+        pushed_masses: np.ndarray,
+        dead_masses: np.ndarray,
+        update_counts: np.ndarray,
+    ) -> None:
         """Per-row simultaneous frontier pushes, rows in parallel.
 
         ``cols[segments[k]:segments[k+1]]`` lists row ``k``'s active
@@ -406,9 +421,13 @@ class NumbaBackend(KernelBackend):
         out = _scratch(workspace, "nb_block_sweep_out", num_rows * n).reshape(
             num_rows, n
         )
-        dead_masses = np.zeros(num_rows, dtype=np.float64)
-        holders = np.zeros(num_rows, dtype=np.int64)
-        holder_degrees = np.zeros(num_rows, dtype=np.int64)
+        # The jitted loop writes every row's slot, so empty scratch is
+        # safe — no zero-fill needed.
+        dead_masses = _scratch(workspace, "nb_block_dead_masses", num_rows)
+        holders = _scratch(workspace, "nb_block_holders", num_rows, np.int64)
+        holder_degrees = _scratch(
+            workspace, "nb_block_holder_degrees", num_rows, np.int64
+        )
         self._kernels.block_global_sweep(
             pt_indptr,
             pt_indices,
@@ -453,12 +472,19 @@ class NumbaBackend(KernelBackend):
         if total == 0:
             return
         _, cols = np.nonzero(masks)
-        segments = np.zeros(num_rows + 1, dtype=np.int64)
+        segments = _scratch(
+            workspace, "nb_block_segments", num_rows + 1, np.int64
+        )
+        segments[0] = 0
         np.cumsum(frontier_sizes, out=segments[1:])
         r_old = _scratch(workspace, "nb_block_r_pushed", total)
-        pushed_masses = np.zeros(num_rows, dtype=np.float64)
-        dead_masses = np.zeros(num_rows, dtype=np.float64)
-        update_counts = np.zeros(num_rows, dtype=np.int64)
+        # Fully written by the jitted loop (one slot per prange row), so
+        # empty scratch is safe.
+        pushed_masses = _scratch(workspace, "nb_block_pushed_masses", num_rows)
+        dead_masses = _scratch(workspace, "nb_block_dead_masses", num_rows)
+        update_counts = _scratch(
+            workspace, "nb_block_update_counts", num_rows, np.int64
+        )
         self._kernels.block_frontier_push(
             graph.out_indptr,
             graph.out_indices,

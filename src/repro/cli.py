@@ -44,6 +44,12 @@ vs the per-source loop, with element-wise identity checked — the same
 smoke run CI gates on (writes ``results/BENCH_kernels.json``)::
 
     repro-ppr bench-kernels --batch-sizes 8,32
+
+Run the project-invariant static checker (determinism, backend parity,
+lock discipline — the same gate CI runs; see CONTRIBUTING.md)::
+
+    repro-ppr lint src/repro
+    repro-ppr lint --list-rules
 """
 
 from __future__ import annotations
@@ -264,6 +270,17 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "--out", type=Path, help="also write the metrics JSON here"
     )
+
+    from repro.analysis.runner import add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint",
+        help=(
+            "run the project-invariant static checker "
+            "(determinism, backend parity, lock discipline)"
+        ),
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -288,6 +305,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "loadtest":
             return _cmd_loadtest(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -572,6 +591,12 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         path = report.write_json(args.out)
         print(f"metrics written to {path}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import lint_from_args
+
+    return lint_from_args(args)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:

@@ -48,7 +48,12 @@ constants, not the asymptotics:
 Scratch buffers: the frontier kernels accept an optional
 :class:`~repro.core.workspace.Workspace`; callers that push in a loop
 (the solvers) thread one through so the frontier-sized temporaries are
-reused instead of reallocated every call.
+reused instead of reallocated every call.  This, the bitwise gather
+discipline above, and the ``backend=`` threading below are enforced
+mechanically: ``repro-ppr lint`` (``repro.analysis``) checks
+``workspace-discipline``, ``no-column-fancy-gather``, and
+``backend-parity`` on every CI run — see CONTRIBUTING.md for the
+invariant -> rule table.
 
 Pluggable backends and what the compiled path removes
 -----------------------------------------------------
@@ -160,7 +165,10 @@ def frontier_edge_targets(
         positions = np.empty(total, dtype=np.int64)
     live = counts > 0
     starts_live = starts[live]
-    offsets_live = np.empty(starts_live.shape[0], dtype=np.int64)
+    # Fully written below ([0] then the cumsum), so empty scratch is safe.
+    offsets_live = _scratch(
+        workspace, "gather_offsets", starts_live.shape[0], np.int64
+    )
     offsets_live[0] = 0
     np.cumsum(counts[live][:-1], out=offsets_live[1:])
     # positions = cumsum of [start_0, 1, 1, ..., jump_1, 1, 1, ...]
@@ -266,7 +274,8 @@ def frontier_push(
     targets, counts = frontier_edge_targets(graph, nodes, workspace=workspace)
     live = counts > 0
     if targets.shape[0]:
-        shares = np.zeros(nodes.shape[0], dtype=np.float64)
+        shares = _scratch(workspace, "frontier_shares", nodes.shape[0], np.float64)
+        shares[:] = 0.0
         shares[live] = (1.0 - alpha) * r_pushed[live] / counts[live]
         contributions = np.repeat(shares, counts)
         state.residue += np.bincount(
@@ -561,7 +570,8 @@ def block_frontier_push(
 
     # Per-row segment boundaries within the flattened (row, col) pairs.
     frontier_sizes = np.count_nonzero(masks, axis=1)
-    segments = np.zeros(num_rows + 1, dtype=np.int64)
+    segments = _scratch(workspace, "block_segments", num_rows + 1, np.int64)
+    segments[0] = 0
     np.cumsum(frontier_sizes, out=segments[1:])
 
     state.reserve[global_rows, cols] += alpha * r_pushed
@@ -599,7 +609,10 @@ def block_frontier_push(
         edge_owner[:] = 0
         live_counts = counts[live_union]
         if num_live > 1:
-            bounds = np.empty(num_live - 1, dtype=np.int64)
+            # Fully written by the cumsum, so empty scratch is safe.
+            bounds = _scratch(
+                workspace, "scatter_bounds", num_live - 1, np.int64
+            )
             np.cumsum(live_counts[:-1], out=bounds)
             edge_owner[bounds] = 1
             edge_owner[0] = 0

@@ -40,7 +40,8 @@ from repro.errors import ParameterError
 from repro.graph.digraph import DiGraph
 from repro.graph.dynamic import DynamicGraph, sample_edge_update
 from repro.serving.server import EngineServer
-from repro.serving.workload import Workload
+from repro.serving.scheduler import ServedResult
+from repro.serving.workload import Operation, Workload
 
 __all__ = ["LoadtestReport", "RunMetrics", "run_loadtest"]
 
@@ -227,7 +228,7 @@ def _run_served(
         update = sample_edge_update(server.engine.dynamic_graph, update_rng)
         server.apply_updates([update])
 
-    def _answer(op, served) -> None:
+    def _answer(op: Operation, served: ServedResult) -> None:
         if collect:
             with estimates_mutex:
                 estimates[op.index] = served.result.estimate
@@ -260,11 +261,13 @@ def _run_served(
             updater.start()
             futures: list[tuple[Any, Any]] = []
 
-            def _record_on_done(op, begin):
+            def _record_on_done(
+                op: Operation, begin: float
+            ) -> Callable[[Any], None]:
                 # Completion time is stamped by the resolving thread —
                 # charging collection-loop time would inflate the tail
                 # of every request that finished during pacing.
-                def _done(future) -> None:
+                def _done(future: Any) -> None:
                     latencies[op.index] = time.perf_counter() - begin
 
                 return _done

@@ -267,7 +267,7 @@ class QueryScheduler:
         try:
             if future.set_running_or_notify_cancel():
                 future.set_exception(exc)
-        except Exception:  # noqa: BLE001 - future already settled
+        except Exception:  # repro: allow[lock-discipline] -- best-effort error delivery: the future was already settled by a racing cancel, so the client has its outcome and there is nothing left to notify
             pass
 
     def _run(self) -> None:

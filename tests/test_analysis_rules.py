@@ -1,0 +1,763 @@
+"""Per-rule fixtures: each rule has a flagged, a clean, and (for the
+file-scope rules) a suppressed case.
+
+Fixture trees reproduce the package layout under ``tmp_path`` (module
+names are inferred from the last ``repro`` directory component), so
+module-scoped rules match exactly as they do on the real tree.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.corpus import load_corpus
+from repro.analysis.runner import Analyzer, resolve_rules
+
+
+def lint_tree(tmp_path: Path, files: dict[str, str], select=None):
+    """Write ``files`` (relpath -> source) and lint the tree."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    corpus = load_corpus([tmp_path])
+    result = Analyzer(resolve_rules(select)).run(corpus)
+    return result.findings
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+# ---------------------------------------------------------------------------
+# rng-discipline
+# ---------------------------------------------------------------------------
+
+class TestRngDiscipline:
+    def test_flags_legacy_and_unseeded_and_stdlib(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/sampler.py": """\
+                import random
+                import numpy as np
+
+                def draw(n):
+                    a = np.random.rand(n)
+                    rng = np.random.default_rng()
+                    b = random.random()
+                    return a, rng, b
+                """
+            },
+            select=["rng-discipline"],
+        )
+        assert len(findings) == 3
+        assert {f.line for f in findings} == {5, 6, 7}
+
+    def test_clean_explicit_seeding(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/sampler.py": """\
+                import numpy as np
+
+                def draw(n, seed):
+                    rng = np.random.default_rng(seed)
+                    return rng.random(n)
+                """
+            },
+            select=["rng-discipline"],
+        )
+        assert findings == []
+
+    def test_sanctioned_module_is_exempt(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/api/registry.py": """\
+                import numpy as np
+
+                def ambient_rng():
+                    return np.random.default_rng()
+                """
+            },
+            select=["rng-discipline"],
+        )
+        assert findings == []
+
+    def test_suppressed_with_reason(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/sampler.py": """\
+                import numpy as np
+
+                def draw():
+                    return np.random.default_rng()  # repro: allow[rng-discipline] -- demo shim, result unused
+                """
+            },
+            select=["rng-discipline"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# no-column-fancy-gather
+# ---------------------------------------------------------------------------
+
+class TestColumnFancyGather:
+    def test_flags_column_index_array(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/block.py": """\
+                def gather(arr, idx):
+                    return arr[:, idx]
+                """
+            },
+            select=["no-column-fancy-gather"],
+        )
+        assert rules_of(findings) == ["no-column-fancy-gather"]
+        assert findings[0].line == 2
+
+    def test_clean_constant_and_slice_and_take(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/block.py": """\
+                import numpy as np
+
+                def ok(arr, idx, lo, hi):
+                    a = arr[:, 0]
+                    b = arr[:, None]
+                    c = arr[:, 1:5]
+                    d = np.take(arr, idx, axis=1)
+                    return a, b, c, d
+                """
+            },
+            select=["no-column-fancy-gather"],
+        )
+        assert findings == []
+
+    def test_out_of_scope_package_not_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/experiments/tables.py": """\
+                def gather(arr, idx):
+                    return arr[:, idx]
+                """
+            },
+            select=["no-column-fancy-gather"],
+        )
+        assert findings == []
+
+    def test_suppressed_with_reason(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/block.py": """\
+                def gather(arr, idx):
+                    return arr[:, idx]  # repro: allow[no-column-fancy-gather] -- cold path, result is reduced columnwise
+                """
+            },
+            select=["no-column-fancy-gather"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# backend-parity
+# ---------------------------------------------------------------------------
+
+_REFERENCE_BACKEND = """\
+from repro.backends.base import KernelBackend
+
+class NumpyBackend(KernelBackend):
+    name = "numpy"
+
+    def global_sweep(self, state, *, count_all_edges=True, workspace=None):
+        pass
+
+    def frontier_push(self, state, nodes, *, workspace=None):
+        pass
+"""
+
+
+class TestBackendParity:
+    def test_clean_when_signatures_match(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/backends/numpy_backend.py": _REFERENCE_BACKEND,
+                "repro/backends/numba_backend.py": """\
+                from repro.backends.base import KernelBackend
+
+                class NumbaBackend(KernelBackend):
+                    name = "numba"
+
+                    def global_sweep(self, state, *, count_all_edges=True, workspace=None):
+                        pass
+
+                    def frontier_push(self, state, nodes, *, workspace=None):
+                        pass
+                """,
+            },
+            select=["backend-parity"],
+        )
+        assert findings == []
+
+    def test_flags_missing_and_divergent_and_extra(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/backends/numpy_backend.py": _REFERENCE_BACKEND,
+                "repro/backends/numba_backend.py": """\
+                from repro.backends.base import KernelBackend
+
+                class NumbaBackend(KernelBackend):
+                    name = "numba"
+
+                    def frontier_push(self, state, nodes, workspace=None):
+                        pass
+
+                    def bonus_kernel(self, state):
+                        pass
+                """,
+            },
+            select=["backend-parity"],
+        )
+        messages = " ".join(f.message for f in findings)
+        assert len(findings) == 3
+        assert "missing kernel global_sweep" in messages
+        assert "frontier_push() signature diverges" in messages
+        assert "bonus_kernel" in messages
+
+    def test_skips_when_compiled_backend_absent(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"repro/backends/numpy_backend.py": _REFERENCE_BACKEND},
+            select=["backend-parity"],
+        )
+        assert findings == []
+
+    def test_flags_public_kernel_without_backend_param(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/kernels.py": """\
+                __all__ = ["global_sweep", "helper"]
+
+                def global_sweep(state, *, count_all_edges=True):
+                    pass
+
+                def helper(graph, nodes):
+                    pass
+                """
+            },
+            select=["backend-parity"],
+        )
+        assert rules_of(findings) == ["backend-parity"]
+        assert "global_sweep" in findings[0].message
+
+    def test_clean_kernel_with_backend_param(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/kernels.py": """\
+                __all__ = ["global_sweep"]
+
+                def global_sweep(state, *, count_all_edges=True, backend=None):
+                    pass
+                """
+            },
+            select=["backend-parity"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# registry-signature-sync
+# ---------------------------------------------------------------------------
+
+_REGISTRY_PRELUDE = """\
+_COMMON = ("alpha", "l1_threshold")
+
+def register_solver(spec):
+    pass
+
+class SolverSpec:
+    def __init__(self, **kw):
+        pass
+
+"""
+
+
+def _registry(body: str) -> str:
+    return _REGISTRY_PRELUDE + textwrap.dedent(body)
+
+
+class TestRegistrySignatureSync:
+    def test_clean_when_params_match(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/api/registry.py": _registry("""\
+                def _solve(graph, source, *, alpha=0.2, l1_threshold=1e-8, beta=1.0):
+                    pass
+
+                register_solver(
+                    SolverSpec(name="x", params=(*_COMMON, "beta"), fn=_solve)
+                )
+                """),
+            },
+            select=["registry-signature-sync"],
+        )
+        assert findings == []
+
+    def test_flags_undeclared_parameter(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/api/registry.py": _registry("""\
+                def _solve(graph, source, *, alpha=0.2):
+                    pass
+
+                register_solver(
+                    SolverSpec(name="x", params=(*_COMMON, "gamma"), fn=_solve)
+                )
+                """),
+            },
+            select=["registry-signature-sync"],
+        )
+        messages = " ".join(f.message for f in findings)
+        assert len(findings) == 2  # l1_threshold and gamma both missing
+        assert "'l1_threshold'" in messages
+        assert "'gamma'" in messages
+
+    def test_seed_requires_rng_parameter(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/api/registry.py": _registry("""\
+                def _stochastic(graph, source, *, alpha=0.2):
+                    pass
+
+                register_solver(
+                    SolverSpec(name="mc", params=("alpha", "seed"), fn=_stochastic)
+                )
+                """),
+            },
+            select=["registry-signature-sync"],
+        )
+        assert len(findings) == 1
+        assert "'rng'" in findings[0].message
+
+    def test_kwargs_solver_accepts_everything(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/api/registry.py": _registry("""\
+                def _variadic(graph, source, **params):
+                    pass
+
+                register_solver(
+                    SolverSpec(name="x", params=(*_COMMON, "whatever"), fn=_variadic)
+                )
+                """),
+            },
+            select=["registry-signature-sync"],
+        )
+        assert findings == []
+
+    def test_wrapper_call_contributes_adapter_params(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/api/registry.py": _registry("""\
+                def _solve(graph, source, *, alpha=0.2, l1_threshold=1e-8):
+                    pass
+
+                def _with_optional_index(solver, builder):
+                    def adapter(graph, source, *, use_index=False, walk_index=None, **params):
+                        return solver(graph, source, **params)
+                    return adapter
+
+                def _builder(graph):
+                    pass
+
+                register_solver(
+                    SolverSpec(
+                        name="x",
+                        params=(*_COMMON, "use_index", "walk_index"),
+                        fn=_with_optional_index(_solve, _builder),
+                    )
+                )
+                """),
+            },
+            select=["registry-signature-sync"],
+        )
+        assert findings == []
+
+    def test_solver_imported_from_corpus_module(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/powerpush.py": """\
+                def power_push(graph, source, *, alpha=0.2):
+                    pass
+                """,
+                "repro/api/registry.py": _registry("""\
+                from repro.core.powerpush import power_push
+
+                register_solver(
+                    SolverSpec(name="x", params=("alpha", "nope"), fn=power_push)
+                )
+                """),
+            },
+            select=["registry-signature-sync"],
+        )
+        assert len(findings) == 1
+        assert "'nope'" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# version-stamp
+# ---------------------------------------------------------------------------
+
+class TestVersionStamp:
+    def test_flags_version_blind_cache(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/memo.py": """\
+                class ResultCache:
+                    def __init__(self):
+                        self._entries = {}
+
+                    def get(self, key):
+                        return self._entries.get(key)
+
+                    def put(self, key, value):
+                        self._entries[key] = value
+                """
+            },
+            select=["version-stamp"],
+        )
+        assert rules_of(findings) == ["version-stamp"]
+
+    def test_clean_version_stamped_cache(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/memo.py": """\
+                class ResultCache:
+                    def __init__(self):
+                        self._entries = {}
+
+                    def get(self, key, version):
+                        entry = self._entries.get(key)
+                        if entry is None or entry[0] != version:
+                            return None
+                        return entry[1]
+
+                    def put(self, key, version, value):
+                        self._entries[key] = (version, value)
+                """
+            },
+            select=["version-stamp"],
+        )
+        assert findings == []
+
+    def test_stats_holder_not_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/memo.py": """\
+                class CacheStats:
+                    def __init__(self):
+                        self.hits = 0
+                        self.misses = 0
+                """
+            },
+            select=["version-stamp"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+# ---------------------------------------------------------------------------
+
+class TestLockDiscipline:
+    def test_flags_blocking_calls_under_writer_lock(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/srv.py": """\
+                import time
+
+                class Server:
+                    def bad(self, fut):
+                        with self._rwlock.write():
+                            time.sleep(0.1)
+                            fut.result()
+                """
+            },
+            select=["lock-discipline"],
+        )
+        messages = " ".join(f.message for f in findings)
+        assert len(findings) == 2
+        assert "sleep" in messages
+        assert ".result()" in messages
+
+    def test_flags_engine_solve_under_writer_lock(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/srv.py": """\
+                class Server:
+                    def bad(self, sources):
+                        with self._rwlock.write():
+                            return self._engine.batch_query(sources, "powerpush")
+                """
+            },
+            select=["lock-discipline"],
+        )
+        assert len(findings) == 1
+        assert "batch_query" in findings[0].message
+
+    def test_clean_timed_wait_and_read_lock(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/srv.py": """\
+                import time
+
+                class Server:
+                    def ok(self, fut, sources):
+                        with self._rwlock.write():
+                            fut.result(timeout=1.0)
+                        with self._rwlock.read():
+                            self._engine.batch_query(sources, "powerpush")
+                        time.sleep(0.1)
+                """
+            },
+            select=["lock-discipline"],
+        )
+        assert findings == []
+
+    def test_flags_bare_and_swallowed_excepts(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/srv.py": """\
+                def deliver(future, exc):
+                    try:
+                        future.set_exception(exc)
+                    except Exception:
+                        pass
+                    try:
+                        future.cancel()
+                    except:
+                        raise
+                """
+            },
+            select=["lock-discipline"],
+        )
+        messages = " ".join(f.message for f in findings)
+        assert len(findings) == 2
+        assert "swallows" in messages
+        assert "bare except" in messages
+
+    def test_clean_handled_exception(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/srv.py": """\
+                def deliver(future, exc):
+                    try:
+                        future.set_exception(exc)
+                    except Exception as failure:
+                        log(failure)
+                """
+            },
+            select=["lock-discipline"],
+        )
+        assert findings == []
+
+    def test_outside_serving_package_not_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/x.py": """\
+                def f():
+                    try:
+                        pass
+                    except Exception:
+                        pass
+                """
+            },
+            select=["lock-discipline"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# workspace-discipline
+# ---------------------------------------------------------------------------
+
+class TestWorkspaceDiscipline:
+    def test_flags_raw_allocation_with_workspace_param(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/kernels.py": """\
+                import numpy as np
+
+                def frontier_push(state, nodes, *, workspace=None):
+                    shares = np.zeros(nodes.shape[0], dtype=np.float64)
+                    return shares
+                """
+            },
+            select=["workspace-discipline"],
+        )
+        assert rules_of(findings) == ["workspace-discipline"]
+        assert findings[0].line == 4
+
+    def test_clean_fallback_branch_and_scratch_helper(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/kernels.py": """\
+                import numpy as np
+
+                def _scratch(workspace, key, size, dtype):
+                    if workspace is not None:
+                        return workspace.buffer(key, size, dtype)
+                    return np.empty(size, dtype=dtype)
+
+                def frontier_push(state, nodes, *, workspace=None):
+                    if workspace is not None:
+                        positions = workspace.buffer("p", 4, np.int64)
+                    else:
+                        positions = np.empty(4, dtype=np.int64)
+                    shares = _scratch(workspace, "s", 4, np.float64)
+                    return positions, shares
+                """
+            },
+            select=["workspace-discipline"],
+        )
+        assert findings == []
+
+    def test_function_without_workspace_param_exempt(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/kernels.py": """\
+                import numpy as np
+
+                def global_sweep(state):
+                    out = np.empty(4, dtype=np.float64)
+                    return out
+                """
+            },
+            select=["workspace-discipline"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# no-mutable-default
+# ---------------------------------------------------------------------------
+
+class TestMutableDefault:
+    def test_flags_literal_factory_and_ambient_time(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/opts.py": """\
+                import time
+
+                def f(items=[], mapping=dict(), stamp=time.monotonic()):
+                    return items, mapping, stamp
+                """
+            },
+            select=["no-mutable-default"],
+        )
+        assert len(findings) == 3
+
+    def test_clean_none_and_immutable_defaults(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/opts.py": """\
+                def f(items=None, key=(1, 2), name="x", *, flag=False):
+                    return items, key, name, flag
+                """
+            },
+            select=["no-mutable-default"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# suppression hygiene
+# ---------------------------------------------------------------------------
+
+class TestSuppressionHygiene:
+    def test_reasonless_allow_is_flagged_and_does_not_suppress(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/sampler.py": """\
+                import numpy as np
+
+                def draw():
+                    return np.random.default_rng()  # repro: allow[rng-discipline]
+                """
+            },
+        )
+        assert sorted(rules_of(findings)) == [
+            "rng-discipline",
+            "suppression-hygiene",
+        ]
+
+    def test_unknown_rule_id_is_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/sampler.py": """\
+                x = 1  # repro: allow[no-such-rule] -- reason given
+                """
+            },
+        )
+        assert rules_of(findings) == ["suppression-hygiene"]
+        assert "no-such-rule" in findings[0].message
+
+    def test_file_wide_allow_with_reason(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/sampler.py": """\
+                # repro: allow-file[rng-discipline] -- fixture exercising ambient draws
+                import numpy as np
+
+                def draw():
+                    return np.random.default_rng()
+                """
+            },
+            select=["rng-discipline"],
+        )
+        assert findings == []
+
+
+def test_parse_error_is_reported(tmp_path):
+    findings = lint_tree(
+        tmp_path,
+        {"repro/core/broken.py": "def f(:\n    pass\n"},
+    )
+    assert rules_of(findings) == ["parse-error"]

@@ -1,0 +1,99 @@
+"""Thread-safety of the backend registry's missing-dependency fallback.
+
+``get_backend("numba")`` without numba installed must degrade to the
+numpy reference with exactly one RuntimeWarning per process, no matter
+how many threads race the first lookup — and the warning must be
+emitted outside the registry lock (a hung or re-entrant warning filter
+must not deadlock backend resolution).
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+import pytest
+
+import repro.backends as backends
+from repro.backends import NumpyBackend, get_backend
+from repro.backends import numba_backend as numba_module
+
+
+@pytest.fixture
+def numba_missing(monkeypatch):
+    """Simulate an environment without the optional numba extra."""
+    monkeypatch.setattr(numba_module, "NUMBA_AVAILABLE", False)
+    backends._reset_backend_state()
+    yield
+    backends._reset_backend_state()
+
+
+def test_fallback_serves_numpy_reference(numba_missing):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        backend = get_backend("numba")
+    assert isinstance(backend, NumpyBackend)
+    assert len(caught) == 1
+    assert issubclass(caught[0].category, RuntimeWarning)
+    assert "falling back" in str(caught[0].message)
+
+
+def test_fallback_warns_exactly_once_across_threads(numba_missing):
+    num_threads = 16
+    barrier = threading.Barrier(num_threads)
+    results: list[object] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def lookup() -> None:
+        try:
+            barrier.wait(timeout=10)
+            backend = get_backend("numba")
+            with lock:
+                results.append(backend)
+        except BaseException as exc:  # pragma: no cover - failure path
+            with lock:
+                errors.append(exc)
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        threads = [
+            threading.Thread(target=lookup) for _ in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+    assert not errors
+    assert len(results) == num_threads
+    assert all(isinstance(backend, NumpyBackend) for backend in results)
+    fallback_warnings = [
+        w for w in caught if issubclass(w.category, RuntimeWarning)
+    ]
+    assert len(fallback_warnings) == 1
+
+
+def test_warning_emitted_outside_registry_lock(numba_missing):
+    """A warning filter that touches the registry must not deadlock."""
+    observed: list[bool] = []
+
+    original_warn = warnings.warn
+
+    def registry_touching_warn(*args, **kwargs):
+        # If get_backend still held the registry lock here, this
+        # non-blocking acquire would fail.
+        acquired = backends._LOCK.acquire(blocking=False)
+        if acquired:
+            backends._LOCK.release()
+        observed.append(acquired)
+        return original_warn(*args, **kwargs)
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        try:
+            warnings.warn = registry_touching_warn
+            backend = get_backend("numba")
+        finally:
+            warnings.warn = original_warn
+    assert isinstance(backend, NumpyBackend)
+    assert observed == [True]
