@@ -12,27 +12,72 @@ under test:
   p50/p99 latency, cache hit rate, batching factor — the first entries
   of the serving bench trajectory.
 
+With ``--workers N`` the bench additionally runs the same workload
+through the multi-process :class:`~repro.serving.sharded.ShardedDispatcher`
+(N shard processes mapping one shared-memory graph image) and compares
+it against the thread-based server.  Three gates then apply:
+
+* both modes must stay byte-identical to the serial baseline (and
+  therefore to each other — placement never changes a seeded answer),
+* the run must leave **zero** ``/dev/shm`` segments behind
+  (checked against :data:`repro.serving.shm.SEGMENT_PREFIX` before
+  exit), and
+* process-mode throughput must be at least ``MIN_PROCESS_SPEEDUP`` x
+  thread mode — enforced only when the machine actually offers the
+  workers >= 2 cores (a single-core container cannot demonstrate
+  process parallelism; the ratio is still measured and reported).
+
 Also runnable as a script (CI exercises this on every push)::
 
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --workers 2
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
 from repro.generators.rmat import rmat_digraph
 from repro.serving import WorkloadGenerator, run_loadtest
+from repro.serving.shm import SEGMENT_PREFIX
 
 #: The scheduler+cache must beat one-query-at-a-time by at least this.
 MIN_SPEEDUP = 2.0
 
+#: Process mode must beat thread mode by at least this — when the host
+#: grants the shards >= 2 cores (otherwise reported, not enforced).
+MIN_PROCESS_SPEEDUP = 2.0
+
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 DEFAULT_JSON = RESULTS_DIR / "BENCH_serving.json"
+
+
+def _effective_cores(workers: int) -> int:
+    """Cores the worker pool can actually spread over."""
+    try:
+        available = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        available = os.cpu_count() or 1
+    return min(workers, available)
+
+
+def leaked_segments() -> list[str]:
+    """Shared-memory segments of ours still present in ``/dev/shm``."""
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return []
+    return sorted(
+        entry.name
+        for entry in shm_dir.iterdir()
+        if entry.name.startswith(SEGMENT_PREFIX)
+    )
 
 
 def run_serving_bench(
@@ -45,6 +90,10 @@ def run_serving_bench(
     concurrency: int = 8,
     window: float = 0.002,
     seed: int = 2021,
+    workers: int = 0,
+    l1_threshold: float = 1e-7,
+    arrival: str = "closed",
+    arrival_rate: float = 500.0,
 ):
     """One measured loadtest run; returns the LoadtestReport."""
 
@@ -61,16 +110,19 @@ def run_serving_bench(
         num_sources=sources,
         zipf_exponent=zipf,
         read_fraction=1.0,  # the read-heavy contract the cache serves
+        arrival=arrival,
+        arrival_rate=arrival_rate,
         seed=seed,
     ).generate(requests)
     return run_loadtest(
         make_graph,
         workload,
         method="powerpush",
-        params={"l1_threshold": 1e-7},
+        params={"l1_threshold": l1_threshold},
         seed=seed,
         concurrency=concurrency,
         window=window,
+        workers=workers,
     )
 
 
@@ -90,6 +142,102 @@ def test_serving_speedup_and_equivalence(benchmark, write_report):
     )
 
 
+def _per_worker_hit_rates(stats: dict[str, Any]) -> dict[str, float]:
+    return {
+        worker_id: float(worker["cache"].get("hit_rate", 0.0))
+        for worker_id, worker in stats.get("per_worker", {}).items()
+    }
+
+
+def _run_process_comparison(args: argparse.Namespace, sizes) -> int:
+    """``--workers N``: thread mode vs N shard processes, three gates."""
+    scale, edges, requests, sources = sizes
+    # Process parallelism pays off on solve-dominated traffic: spread
+    # the Zipf over more distinct sources and tighten the threshold so
+    # the comparison measures parallel solving, not shared cache hits,
+    # and saturate both modes with an open-loop arrival burst so each
+    # reaches its full micro-batch depth (closed-loop clients starve the
+    # per-shard queues of burst depth and measure client count instead).
+    sources = max(sources, requests // 2)
+    common = dict(
+        scale=scale,
+        edges=edges,
+        requests=requests,
+        sources=sources,
+        zipf=args.zipf,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        l1_threshold=1e-8,
+        arrival="open",
+        arrival_rate=50_000.0,
+    )
+    thread_report = run_serving_bench(**common)
+    process_report = run_serving_bench(**common, workers=args.workers)
+
+    print("--- thread mode ---")
+    print(thread_report.render())
+    print(f"--- process mode ({args.workers} workers) ---")
+    print(process_report.render())
+
+    thread_qps = thread_report.served.throughput_qps
+    process_qps = process_report.served.throughput_qps
+    process_speedup = process_qps / thread_qps if thread_qps else 0.0
+    hit_rates = _per_worker_hit_rates(process_report.server_stats)
+    leaks = leaked_segments()
+    cores = _effective_cores(args.workers)
+
+    payload = {
+        "thread": thread_report.to_dict(),
+        "process": process_report.to_dict(),
+        "workers": args.workers,
+        "effective_cores": cores,
+        "process_speedup": process_speedup,
+        "per_worker_hit_rate": hit_rates,
+        "leaked_segments": leaks,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"metrics written to {out}")
+    print(
+        f"process vs thread: {process_speedup:.2f}x "
+        f"({process_qps:.0f} vs {thread_qps:.0f} q/s, "
+        f"{cores} effective cores)"
+    )
+    print(
+        "per-worker cache hit rates: "
+        + ", ".join(f"w{k}={v:.1%}" for k, v in sorted(hit_rates.items()))
+    )
+
+    failed = False
+    for label, report in (("thread", thread_report), ("process", process_report)):
+        if report.identical is not True:
+            print(f"FAIL: {label}-mode answers diverged from serial baseline")
+            failed = True
+    if leaks:
+        print(f"FAIL: leaked shared-memory segments: {leaks}")
+        failed = True
+    if cores >= 2 and process_speedup < MIN_PROCESS_SPEEDUP:
+        print(
+            f"FAIL: process mode at {process_speedup:.2f}x thread mode "
+            f"(expected >= {MIN_PROCESS_SPEEDUP}x on {cores} cores)"
+        )
+        failed = True
+    elif cores < 2:
+        print(
+            f"NOTE: only {cores} effective core(s); the "
+            f"{MIN_PROCESS_SPEEDUP}x process-over-thread gate needs >= 2 "
+            "and is reported, not enforced"
+        )
+    if failed:
+        return 1
+    print(
+        f"OK: byte-identical across serial/thread/process, zero leaked "
+        f"segments, process mode at {process_speedup:.2f}x thread mode"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Script entry point; ``--smoke`` runs a seconds-scale CI check."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -107,6 +255,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--concurrency", type=int, default=8)
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="also run N shard processes over a shared-memory graph "
+        "image and gate process-vs-thread speedup, byte-identity, and "
+        "zero leaked segments",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=DEFAULT_JSON,
@@ -121,6 +277,11 @@ def main(argv: list[str] | None = None) -> int:
             (args.scale, args.edges, args.requests, args.sources), defaults
         )
     )
+
+    if args.workers:
+        return _run_process_comparison(
+            args, (scale, edges, requests, sources)
+        )
 
     report = run_serving_bench(
         scale=scale,

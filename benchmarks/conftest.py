@@ -33,7 +33,7 @@ def write_report():
     """Callable saving a rendered experiment report under results/."""
 
     def _write(name: str, text: str) -> Path:
-        RESULTS_DIR.mkdir(exist_ok=True)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         return path

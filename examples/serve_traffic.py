@@ -6,16 +6,24 @@ front door the README "Serving" section describes:
 1. a burst of concurrent queries coalesces into batched solves,
 2. repeated sources answer from the versioned result cache,
 3. an edge update invalidates the cache exactly at the version bump,
-4. a small Zipfian loadtest compares served vs serial throughput.
+4. a small Zipfian loadtest compares served vs serial throughput,
+5. with ``--workers N``: the same traffic through a
+   :class:`repro.serving.ShardedDispatcher` — N worker processes over
+   one shared-memory graph image, byte-identical answers included.
 
-Run with ``PYTHONPATH=src python examples/serve_traffic.py``.
+Run with ``PYTHONPATH=src python examples/serve_traffic.py``
+(add ``--workers 2`` for the sharded tier).
 """
+
+import argparse
 
 import numpy as np
 
 from repro import (
     DynamicGraph,
     EngineServer,
+    PPREngine,
+    ShardedDispatcher,
     WorkloadGenerator,
     rmat_digraph,
     run_loadtest,
@@ -25,7 +33,67 @@ from repro import (
 SEED = 7
 
 
+def sharded_tour(graph: DynamicGraph, workers: int) -> None:
+    """Section 5: the process-parallel tier over a shared graph image.
+
+    The dispatcher exports the graph's CSR arrays into one
+    shared-memory segment, forks ``workers`` processes that each map
+    it zero-copy, and routes every query by consistent hashing on the
+    source id — so repeats of a hot source always land on the shard
+    whose cache already holds the answer.  Updates broadcast to every
+    shard as a versioned barrier.  None of this machinery may change
+    an answer: ``per_source_rng(seed, source)`` makes each result a
+    pure function of ``(seed, source)``, so we check byte-identity
+    against a single-process engine below.
+    """
+    print(f"\n-- sharded serving: {workers} worker processes --")
+    reference = PPREngine(graph.snapshot(), alpha=0.2, seed=SEED)
+    with ShardedDispatcher(
+        graph, workers=workers, alpha=0.2, seed=SEED
+    ) as dispatcher:
+        hot = [0, 1, 2, 0, 1, 0, 3, 0]
+        for source in sorted(set(hot)):
+            served = dispatcher.query(source, "powerpush", l1_threshold=1e-7)
+            expected = reference.query(source, "powerpush", l1_threshold=1e-7)
+            identical = (
+                served.result.estimate.tobytes()
+                == expected.estimate.tobytes()
+            )
+            print(
+                f"source {source} -> shard {served.worker} "
+                f"(route {dispatcher.route(source)}), "
+                f"byte-identical to single-process: {identical}"
+            )
+        repeat = dispatcher.query(0, "powerpush", l1_threshold=1e-7)
+        print(
+            f"repeat of source 0: cache_hit={repeat.cache_hit} on "
+            f"shard {repeat.worker} (cache affinity)"
+        )
+        update = sample_edge_update(graph, np.random.default_rng(SEED + 2))
+        version = dispatcher.apply_updates([update])
+        print(f"update barrier: every shard now at version {version}")
+        stats = dispatcher.stats()
+        per_worker = ", ".join(
+            f"w{wid}={w['cache']['hit_rate']:.0%}"
+            for wid, w in sorted(stats["per_worker"].items())
+        )
+        print(
+            f"aggregate hit rate {stats['cache']['hit_rate']:.0%} "
+            f"(per shard: {per_worker})"
+        )
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="also tour the multi-process sharded dispatcher",
+    )
+    # parse_known_args, not parse_args: the example suite re-runs this
+    # file under runpy with the test runner's argv still in place.
+    args, _ = parser.parse_known_args()
     graph = DynamicGraph(
         rmat_digraph(10, 8_000, rng=np.random.default_rng(SEED), name="traffic")
     )
@@ -88,6 +156,10 @@ def main() -> None:
     )
     print()
     print(report.render())
+
+    # -- 5. optionally, the process-parallel tier ----------------------
+    if args.workers:
+        sharded_tour(graph, args.workers)
 
 
 if __name__ == "__main__":

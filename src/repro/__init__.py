@@ -120,6 +120,8 @@ from repro.serving import (
     QueryScheduler,
     ResultCache,
     ServedResult,
+    ShardedDispatcher,
+    SharedGraphImage,
     WorkloadGenerator,
     run_loadtest,
 )
@@ -147,6 +149,8 @@ __all__ = [
     "QueryScheduler",
     "ResultCache",
     "ServedResult",
+    "ShardedDispatcher",
+    "SharedGraphImage",
     "WorkloadGenerator",
     "run_loadtest",
     # graph

@@ -1,11 +1,13 @@
-"""Serving-layer rules: version stamping and lock discipline.
+"""Serving-layer rules: version stamping, lock and shm discipline.
 
-The serving layer multiplexes one mutable engine across reader threads;
-its two standing hazards are stale-version answers (a memoised result
-outliving the graph snapshot it was computed on) and writer-lock
-convoys (blocking work performed while holding the exclusive side of
-the RWLock).  Both are invariants the type system cannot express, so
-they live here.
+The serving layer multiplexes one mutable engine across reader threads
+and (in sharded mode) worker processes; its standing hazards are
+stale-version answers (a memoised result outliving the graph snapshot
+it was computed on), writer-lock convoys (blocking work — including
+process/pool construction — performed while holding the exclusive side
+of the RWLock), and leaked ``/dev/shm`` segments (a
+``SharedMemory(create=True)`` with no reachable ``unlink`` path).  All
+are invariants the type system cannot express, so they live here.
 """
 
 from __future__ import annotations
@@ -92,13 +94,15 @@ class VersionStampRule(Rule):
 class LockDisciplineRule(Rule):
     id = "lock-discipline"
     summary = (
-        "no blocking calls while holding the writer lock; no bare or "
-        "swallowed excepts in the serving layer"
+        "no blocking calls or process construction while holding the "
+        "writer lock; no bare or swallowed excepts in the serving layer"
     )
     invariant = (
         "The writer side of the RWLock is held only for pointer swaps: "
-        "sleeping, untimed future/event waits, or engine solves under "
-        "it convoy every reader.  Exceptions around future resolution "
+        "sleeping, untimed future/event waits, engine solves, or "
+        "forking a worker process/pool under it convoy every reader "
+        "(and a fork taken while the lock is held duplicates the held "
+        "lock into the child).  Exceptions around future resolution "
         "are either re-raised or routed to the future, never dropped."
     )
 
@@ -107,6 +111,10 @@ class LockDisciplineRule(Rule):
     _UNTIMED_BLOCKERS = frozenset({"result", "wait"})
     #: Engine entry points that run a full solve.
     _SOLVE_ATTRS = frozenset({"solve", "batch_query"})
+    #: Constructors that fork worker processes (or whole pools of them).
+    _PROCESS_CTORS = frozenset(
+        {"Process", "Pool", "ProcessPoolExecutor", "fork"}
+    )
 
     def check_file(self, file: SourceFile) -> Iterable[Finding]:
         if not file.in_package(self._SERVING_PACKAGE):
@@ -153,6 +161,8 @@ class LockDisciplineRule(Rule):
             name is not None and name.endswith(".sleep")
         ):
             return f"blocking sleep {name}()"
+        if name is not None and name.split(".")[-1] in self._PROCESS_CTORS:
+            return f"process/pool construction {name}()"
         if not isinstance(call.func, ast.Attribute):
             return None
         attr = call.func.attr
@@ -202,3 +212,113 @@ class LockDisciplineRule(Rule):
             )
         ]
         return not meaningful
+
+
+#: Method names that count as a teardown surface for an owned segment.
+_SHM_CLEANUP_METHODS = frozenset(
+    {"close", "unlink", "cleanup", "__exit__", "__del__"}
+)
+
+_AnyFunc = ast.FunctionDef | ast.AsyncFunctionDef
+#: A ``SharedMemory(create=True)`` call with its enclosing scopes.
+_CreationSite = tuple[ast.ClassDef | None, "_AnyFunc | None", ast.Call]
+
+
+@register_rule
+class ShmDisciplineRule(Rule):
+    id = "shm-discipline"
+    summary = (
+        "every SharedMemory(create=True) has a reachable unlink() in a "
+        "finally/except or teardown-method path"
+    )
+    invariant = (
+        "A process that creates a shared-memory segment owns its "
+        "lifetime: the creation site is guarded so a half-built "
+        "segment is unlinked on failure, or the owning class exposes a "
+        "teardown method (close/unlink/cleanup/__exit__) that unlinks "
+        "it.  A create with no reachable unlink path leaks a "
+        "/dev/shm file that outlives every process."
+    )
+
+    def check_file(self, file: SourceFile) -> Iterable[Finding]:
+        assert file.tree is not None
+        for cls, fn, call in self._creations(file.tree):
+            if fn is not None and self._guarded_locally(fn):
+                continue
+            if cls is not None and self._class_has_teardown(cls):
+                continue
+            yield self.finding(
+                file,
+                call,
+                "SharedMemory(create=True) with no reachable unlink(): "
+                "guard the creation with a finally/except that unlinks "
+                "the half-built segment, or give the owning class a "
+                "close/unlink/cleanup method that does",
+            )
+
+    # -- locating creation sites with their enclosing scopes -----------
+    @classmethod
+    def _creations(cls, tree: ast.Module) -> Iterable["_CreationSite"]:
+        def visit(
+            node: ast.AST,
+            in_class: ast.ClassDef | None,
+            in_fn: "_AnyFunc | None",
+        ) -> Iterable["_CreationSite"]:
+            for child in ast.iter_child_nodes(node):
+                next_class, next_fn = in_class, in_fn
+                if isinstance(child, ast.ClassDef):
+                    next_class = child
+                elif isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    next_fn = child
+                if isinstance(child, ast.Call) and cls._is_create(child):
+                    yield in_class, in_fn, child
+                yield from visit(child, next_class, next_fn)
+
+        yield from visit(tree, None, None)
+
+    @staticmethod
+    def _is_create(call: ast.Call) -> bool:
+        name = dotted_name(call.func)
+        if name is None or name.split(".")[-1] != "SharedMemory":
+            return False
+        return any(
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in call.keywords
+        )
+
+    # -- the two sanctioned cleanup shapes -----------------------------
+    @staticmethod
+    def _calls_unlink(node: ast.AST) -> bool:
+        return any(
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "unlink"
+            for sub in ast.walk(node)
+        )
+
+    @classmethod
+    def _guarded_locally(
+        cls, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        """A try in the creating function unlinks on failure/teardown."""
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Try):
+                continue
+            for region in (*node.handlers, *node.finalbody):
+                if cls._calls_unlink(region):
+                    return True
+        return False
+
+    @classmethod
+    def _class_has_teardown(cls, owner: ast.ClassDef) -> bool:
+        """The owning class exposes a teardown method that unlinks."""
+        return any(
+            isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and item.name in _SHM_CLEANUP_METHODS
+            and cls._calls_unlink(item)
+            for item in owner.body
+        )

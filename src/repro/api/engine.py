@@ -67,7 +67,10 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.shm import SharedGraphHandle, SharedGraphImage
 
 import numpy as np
 
@@ -337,6 +340,65 @@ class PPREngine:
         #: trackers, stats, counter) so concurrent queries are safe;
         #: re-entrant because index accessors nest under query().
         self._lock = threading.RLock()
+
+    @classmethod
+    def from_shared_graph(
+        cls,
+        image_or_handle: "SharedGraphImage | SharedGraphHandle",
+        *,
+        dynamic: bool = False,
+        **engine_kwargs: Any,
+    ) -> "PPREngine":
+        """Build an engine over a shared-memory graph image.
+
+        ``image_or_handle`` is either an already-attached
+        :class:`~repro.serving.shm.SharedGraphImage` or a picklable
+        :class:`~repro.serving.shm.SharedGraphHandle` received from the
+        exporting process (it is attached here).  The engine's CSR
+        arrays and push caches alias the shared segment — construction
+        copies nothing, so N worker processes serve one physical graph
+        image.
+
+        ``dynamic=True`` wraps the shared base in a
+        :class:`DynamicGraph` so the engine accepts ``apply_updates``;
+        updates overlay copy-on-write in this process only (the shared
+        base stays immutable), which is exactly what the sharded
+        update barrier needs: every worker applies the same batches
+        and converges to the same versioned logical graph.
+
+        The image backing the engine is exposed as
+        :attr:`shared_image` and must stay open (and be closed by its
+        owner) for the engine's lifetime; ``reorder=`` is rejected
+        because relabelling would copy the graph and break the
+        cross-process placement-independence contract.
+        """
+        from repro.serving.shm import SharedGraphHandle, SharedGraphImage
+
+        if engine_kwargs.get("reorder") is not None:
+            raise ParameterError(
+                "reorder= cannot be combined with a shared graph image: "
+                "relabelling copies the CSR, defeating zero-copy sharing"
+            )
+        if isinstance(image_or_handle, SharedGraphHandle):
+            image = SharedGraphImage.attach(image_or_handle)
+        elif isinstance(image_or_handle, SharedGraphImage):
+            image = image_or_handle
+        else:
+            raise ParameterError(
+                "from_shared_graph needs a SharedGraphImage or "
+                f"SharedGraphHandle; got {type(image_or_handle).__name__}"
+            )
+        graph: DiGraph | DynamicGraph = image.graph()
+        if dynamic:
+            graph = DynamicGraph(graph)
+        engine = cls(graph, **engine_kwargs)
+        engine._shared_image = image
+        return engine
+
+    @property
+    def shared_image(self) -> "SharedGraphImage | None":
+        """The shared-memory image this engine serves from, if any."""
+        return getattr(self, "_shared_image", None)
 
     # -- graph versioning ----------------------------------------------
     @property

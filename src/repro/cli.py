@@ -229,6 +229,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache TTL in seconds (default: no expiry)",
     )
     serve.add_argument("--top", type=int, default=5)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard serving across N worker processes mapping one "
+        "shared-memory graph image (0 = in-process thread mode)",
+    )
 
     loadtest = sub.add_parser(
         "loadtest",
@@ -269,6 +276,13 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--seed", type=int, default=2021)
     loadtest.add_argument(
         "--out", type=Path, help="also write the metrics JSON here"
+    )
+    loadtest.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="serve through N shard processes over a shared-memory "
+        "graph image instead of the thread-based server",
     )
 
     from repro.analysis.runner import add_lint_arguments
@@ -435,21 +449,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     stops.
     """
     from repro.graph.dynamic import DynamicGraph
-    from repro.serving import EngineServer
+    from repro.serving import EngineServer, ShardedDispatcher
 
     dynamic = DynamicGraph(load_dataset(args.dataset))
-    server = EngineServer(
-        dynamic,
-        alpha=args.alpha,
-        seed=args.seed,
-        window=args.window,
-        max_batch=args.max_batch,
-        cache_capacity=args.cache_capacity,
-        cache_ttl=args.cache_ttl,
-    )
+    if args.workers:
+        server: EngineServer | ShardedDispatcher = ShardedDispatcher(
+            dynamic,
+            workers=args.workers,
+            alpha=args.alpha,
+            seed=args.seed,
+            window=args.window,
+            max_batch=args.max_batch,
+            cache_capacity=args.cache_capacity,
+            cache_ttl=args.cache_ttl,
+        )
+        mode = f"{args.workers} shard processes, shared-memory graph"
+    else:
+        server = EngineServer(
+            dynamic,
+            alpha=args.alpha,
+            seed=args.seed,
+            window=args.window,
+            max_batch=args.max_batch,
+            cache_capacity=args.cache_capacity,
+            cache_ttl=args.cache_ttl,
+        )
+        mode = "in-process threads"
     print(
         f"serving {args.dataset} (n={dynamic.num_nodes}, "
-        f"m={dynamic.num_edges}); one request per line "
+        f"m={dynamic.num_edges}; {mode}); one request per line "
         f"(SOURCE [METHOD] [key=value ...], '+ U V', '- U V', 'stats')"
     )
     with server:
@@ -495,6 +523,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     origin = "cache" if served.cache_hit else (
                         f"batch of {served.batch_size}"
                     )
+                    if served.worker is not None:
+                        origin += f", shard {served.worker}"
                     print(
                         f"{served.result.method} source={source} "
                         f"version={served.version} ({origin}, "
@@ -515,10 +545,13 @@ def _print_server_stats(server) -> None:
     stats = server.stats()
     scheduler = stats["scheduler"]
     cache = stats["cache"]
+    hit_rate = stats.get(
+        "hit_rate_at_submit", cache.get("hit_rate", 0.0) if cache else 0.0
+    )
     print(
         f"requests={stats['requests']} "
         f"graph_version={stats['graph_version']} "
-        f"hit_rate={stats['hit_rate_at_submit']:.2%}"
+        f"hit_rate={hit_rate:.2%}"
     )
     print(
         f"scheduler: batches={scheduler['batches']} "
@@ -531,6 +564,18 @@ def _print_server_stats(server) -> None:
             f"stale_drops={cache['stale_drops']} "
             f"invalidations={cache['invalidations']}"
         )
+    if "per_worker" in stats:
+        print(
+            f"shards: workers={stats['workers']} "
+            f"rerouted={stats['rerouted']} "
+            f"worker_failures={stats['worker_failures']}"
+        )
+        for worker_id, worker in sorted(stats["per_worker"].items()):
+            print(
+                f"  shard {worker_id}: requests={worker['requests']} "
+                f"hit_rate={worker['cache'].get('hit_rate', 0.0):.2%} "
+                f"batching={worker['scheduler']['batching_factor']:.2f}"
+            )
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
@@ -585,6 +630,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         window=args.window,
         max_batch=args.max_batch,
         cache_capacity=args.cache_capacity,
+        workers=args.workers,
     )
     print(report.render())
     if args.out is not None:

@@ -18,6 +18,12 @@ this package makes it a *service*:
   :func:`~repro.serving.loadtest.run_loadtest` — synthetic Zipfian
   traffic and the load/soak harness behind ``repro-ppr loadtest`` and
   ``benchmarks/bench_serving.py``.
+* :class:`~repro.serving.sharded.ShardedDispatcher` /
+  :class:`~repro.serving.shm.SharedGraphImage` — the process-parallel
+  tier: N worker processes each run an :class:`EngineServer` over one
+  zero-copy shared-memory graph image, fronted by consistent-hash
+  routing on the source id (cache affinity) with ``apply_updates``
+  broadcast as a versioned barrier.
 """
 
 from repro.serving.cache import (
@@ -30,6 +36,8 @@ from repro.serving.loadtest import LoadtestReport, RunMetrics, run_loadtest
 from repro.serving.locks import RWLock
 from repro.serving.scheduler import QueryScheduler, SchedulerStats, ServedResult
 from repro.serving.server import EngineServer
+from repro.serving.sharded import ShardedDispatcher, WorkerConfig
+from repro.serving.shm import SharedGraphHandle, SharedGraphImage
 from repro.serving.workload import Operation, Workload, WorkloadGenerator
 
 __all__ = [
@@ -42,6 +50,10 @@ __all__ = [
     "make_cache_key",
     "resolve_request",
     "RWLock",
+    "ShardedDispatcher",
+    "WorkerConfig",
+    "SharedGraphHandle",
+    "SharedGraphImage",
     "WorkloadGenerator",
     "Workload",
     "Operation",

@@ -41,6 +41,7 @@ from repro.graph.digraph import DiGraph
 from repro.graph.dynamic import DynamicGraph, sample_edge_update
 from repro.serving.server import EngineServer
 from repro.serving.scheduler import ServedResult
+from repro.serving.sharded import ShardedDispatcher
 from repro.serving.workload import Operation, Workload
 
 __all__ = ["LoadtestReport", "RunMetrics", "run_loadtest"]
@@ -84,6 +85,8 @@ class LoadtestReport:
     batching_factor: float
     identical: bool | None
     server_stats: dict[str, Any] = field(default_factory=dict)
+    #: shard processes the served run used (0 = in-process thread mode)
+    workers: int = 0
 
     @property
     def speedup(self) -> float:
@@ -97,6 +100,7 @@ class LoadtestReport:
             "workload": self.workload,
             "method": self.method,
             "concurrency": self.concurrency,
+            "workers": self.workers,
             "served": self.served.as_dict(),
             "serial": self.serial.as_dict(),
             "speedup": self.speedup,
@@ -118,12 +122,17 @@ class LoadtestReport:
             if self.identical is None
             else str(self.identical)
         )
+        mode = (
+            f"{self.workers} shard processes"
+            if self.workers
+            else f"{self.concurrency} threads"
+        )
         lines = [
             f"loadtest [{self.method}] {self.workload}",
             f"  served : {self.served.throughput_qps:9.1f} q/s   "
             f"p50 {self.served.p50_ms:7.2f} ms   "
             f"p99 {self.served.p99_ms:7.2f} ms   "
-            f"({self.concurrency} workers)",
+            f"({mode})",
             f"  serial : {self.serial.throughput_qps:9.1f} q/s   "
             f"p50 {self.serial.p50_ms:7.2f} ms   "
             f"p99 {self.serial.p99_ms:7.2f} ms   (1 thread, no cache)",
@@ -205,18 +214,47 @@ def _run_served(
     cache_capacity: int,
     cache_ttl: float | None,
     collect: bool,
+    workers: int = 0,
 ) -> tuple[RunMetrics, dict[int, np.ndarray], dict[str, Any]]:
-    """Replay the workload against an :class:`EngineServer`."""
-    server = EngineServer(
-        make_graph(),
-        alpha=alpha,
-        seed=seed,
-        window=window,
-        max_batch=max_batch,
-        cache_capacity=cache_capacity,
-        cache_ttl=cache_ttl,
-    )
-    _require_dynamic(server.engine, workload)
+    """Replay the workload against an :class:`EngineServer` — or, with
+    ``workers >= 1``, a :class:`ShardedDispatcher` over that many
+    worker processes sharing one shared-memory graph image."""
+    server: EngineServer | ShardedDispatcher
+    mirror: DynamicGraph | None = None
+    if workers:
+        graph = make_graph()
+        if isinstance(graph, DynamicGraph):
+            # The parent keeps a mirror of the logical graph so update
+            # sampling sees the same state the shards converge to; the
+            # sampled batch is applied to the mirror and broadcast to
+            # every shard, keeping all copies in lockstep.
+            mirror = graph
+        elif workload.num_updates:
+            raise ParameterError(
+                "workload contains edge updates; make_graph must "
+                "return a DynamicGraph"
+            )
+        server = ShardedDispatcher(
+            graph,
+            workers=workers,
+            alpha=alpha,
+            seed=seed,
+            window=window,
+            max_batch=max_batch,
+            cache_capacity=cache_capacity,
+            cache_ttl=cache_ttl,
+        )
+    else:
+        server = EngineServer(
+            make_graph(),
+            alpha=alpha,
+            seed=seed,
+            window=window,
+            max_batch=max_batch,
+            cache_capacity=cache_capacity,
+            cache_ttl=cache_ttl,
+        )
+        _require_dynamic(server.engine, workload)
     update_rng = workload.update_rng()
     operations = workload.operations
     latencies: list[float | None] = [None] * len(operations)
@@ -225,7 +263,14 @@ def _run_served(
     errors: list[BaseException] = []
 
     def _apply_one_update() -> None:
-        update = sample_edge_update(server.engine.dynamic_graph, update_rng)
+        if mirror is not None:
+            update = sample_edge_update(mirror, update_rng)
+            mirror.apply_updates([update])
+        else:
+            assert isinstance(server, EngineServer)
+            update = sample_edge_update(
+                server.engine.dynamic_graph, update_rng
+            )
         server.apply_updates([update])
 
     def _answer(op: Operation, served: ServedResult) -> None:
@@ -362,6 +407,7 @@ def run_loadtest(
     cache_capacity: int = 4096,
     cache_ttl: float | None = None,
     compare: bool = True,
+    workers: int = 0,
 ) -> LoadtestReport:
     """Measure served vs serial replay of ``workload``; see module doc.
 
@@ -370,9 +416,18 @@ def run_loadtest(
     byte-identical cross-check runs only when it is meaningful: a
     deterministic method on a read-only workload (stochastic methods
     and write traffic legitimately diverge, reported as ``None``).
+
+    ``workers >= 1`` switches the served run from the thread-based
+    :class:`EngineServer` to a :class:`ShardedDispatcher` over that
+    many worker processes mapping one shared-memory graph image
+    (answers stay byte-identical either way — placement never changes
+    a seeded answer).  ``concurrency`` then counts the closed-loop
+    client threads driving the dispatcher.
     """
     if concurrency < 1:
         raise ParameterError(f"concurrency must be >= 1, got {concurrency}")
+    if workers < 0:
+        raise ParameterError(f"workers must be >= 0, got {workers}")
     params = dict(params or {})
     spec, _ = resolve_method(method)
     comparable = (
@@ -391,6 +446,7 @@ def run_loadtest(
         cache_capacity=cache_capacity,
         cache_ttl=cache_ttl,
         collect=comparable,
+        workers=workers,
     )
     serial_metrics, serial_estimates = _run_serial(
         make_graph,
@@ -417,4 +473,5 @@ def run_loadtest(
         batching_factor=float(stats["scheduler"]["batching_factor"]),
         identical=identical,
         server_stats=stats,
+        workers=workers,
     )

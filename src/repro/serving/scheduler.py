@@ -74,12 +74,17 @@ class ServedResult:
     batch_size:
         How many requests the dispatch that produced this answer
         coalesced (1 for cache hits).
+    worker:
+        Shard id of the worker process that served the answer under a
+        :class:`~repro.serving.sharded.ShardedDispatcher`; ``None``
+        when served in-process (thread mode).
     """
 
     result: PPRResult
     version: int
     cache_hit: bool
     batch_size: int
+    worker: int | None = None
 
 
 @dataclass

@@ -311,8 +311,23 @@ class EngineServer:
             "engine_queries": self._engine.stats.queries,
         }
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (submissions are rejected)."""
+        return self._scheduler.closed
+
     def close(self) -> None:
-        """Drain and stop the scheduler; the engine stays usable."""
+        """Drain and stop the scheduler; the engine stays usable.
+
+        Idempotent: repeated calls (explicit ``close`` plus context-
+        manager exit plus a ``finally`` in a teardown path) are no-ops
+        after the first.  The server holds no process-external
+        resources itself; when it serves a shared-memory graph the
+        owning :class:`~repro.serving.shm.SharedGraphImage` is closed
+        by whoever exported/attached it (see
+        :mod:`repro.serving.sharded` for the split of ``unlink`` in
+        the parent vs ``close`` in every worker).
+        """
         self._scheduler.close()
 
     def __enter__(self) -> "EngineServer":

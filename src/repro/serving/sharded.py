@@ -1,0 +1,945 @@
+"""Multi-process sharded serving over one shared-memory graph image.
+
+The thread-based :class:`~repro.serving.server.EngineServer` coalesces
+and caches well, but every solve outside the compiled-kernel regions
+still contends on the GIL, so an 8-thread server gets one core's worth
+of numpy.  This module is the process-parallel tier the AccPPR harness
+(PAPERS.md; SNIPPETS.md §3) motivates — a ``multiprocessing`` pool
+driving per-source solves over one pre-built CSR — with the serving
+semantics of PR 3 kept intact *per worker*:
+
+* the graph's hot arrays live once in a
+  :class:`~repro.serving.shm.SharedGraphImage`; every worker process
+  maps the same physical pages zero-copy and runs a full
+  :class:`EngineServer` (micro-batch scheduler + version-stamped
+  :class:`~repro.serving.cache.ResultCache`) over them;
+* the :class:`ShardedDispatcher` in the parent routes each request by
+  **consistent hashing on the source id**, so repeat queries for a hot
+  source always land on the same worker — its cache keeps hitting and
+  its micro-batches stay coherent — and removing a crashed worker
+  re-routes only that worker's arc of the ring;
+* ``apply_updates`` broadcasts as a **versioned barrier** under the
+  dispatcher's writer lock: every worker applies the same batch to its
+  copy-on-write :class:`~repro.graph.dynamic.DynamicGraph` overlay
+  (the shared base stays immutable) and acks with its new version;
+  the dispatcher verifies the versions agree before letting reads
+  resume, so no request is ever answered from a pre-update vector.
+
+Because every seeded answer is a pure function of ``(seed, source)``
+(:func:`repro.api.engine.per_source_rng`), *where* a request runs
+cannot change *what* it answers: process-mode responses are
+byte-identical to the single-process path, which is exactly how the
+tests check this module.
+
+Request/response framing is plain picklable tuples over per-worker
+``multiprocessing`` queues; per-worker FIFO ordering is what makes the
+update barrier correct (queries enqueued before the barrier are
+answered at the old version, the barrier message follows them, and new
+queries wait on the writer lock).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import queue
+import signal
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
+from multiprocessing import get_all_start_methods, get_context
+from types import FrameType
+from typing import Any, Iterable, Mapping
+
+from repro.api.engine import PPREngine
+from repro.errors import NodeNotFoundError, ParameterError
+from repro.graph.digraph import DiGraph
+from repro.graph.dynamic import DynamicGraph
+from repro.serving.cache import resolve_request
+from repro.serving.locks import RWLock
+from repro.serving.scheduler import ServedResult
+from repro.serving.server import EngineServer
+from repro.serving.shm import SharedGraphHandle, SharedGraphImage
+
+__all__ = ["ShardedDispatcher", "WorkerConfig"]
+
+#: Collector/barrier poll quantum (seconds): every blocking wait in the
+#: dispatcher is a timed wait at this granularity so worker death is
+#: noticed promptly and no future can hang forever.
+_POLL = 0.05
+
+#: Default per-worker vnode count on the hash ring.  Enough that each
+#: worker's share of sources stays within a few percent of uniform and
+#: a removed worker's arc scatters evenly over the survivors.
+_DEFAULT_VNODES = 48
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Picklable per-worker :class:`EngineServer` construction recipe."""
+
+    alpha: float = 0.2
+    seed: int = 0
+    dead_end_policy: str = "redirect-to-source"
+    dynamic: bool = False
+    cache_capacity: int = 4096
+    cache_ttl: float | None = None
+    window: float = 0.002
+    max_batch: int = 64
+    backend: str | None = None
+
+
+def _raise_exit(signum: int, frame: FrameType | None) -> None:
+    """SIGTERM -> SystemExit so worker ``finally`` blocks run."""
+    raise SystemExit(0)
+
+
+def _worker_main(
+    worker_id: int,
+    handle: SharedGraphHandle,
+    config: WorkerConfig,
+    requests: Any,
+    responses: Any,
+) -> None:
+    """One shard: attach the shared image, serve until told to stop.
+
+    Runs in a child process (module-level so the spawn start method can
+    pickle it).  Messages in, messages out:
+
+    * ``("query", req_id, source, method, params, fresh)`` ->
+      ``("result", req_id, ServedResult)`` or
+      ``("error", req_id, exc)``
+    * ``("update", barrier_id, updates)`` ->
+      ``("updated", barrier_id, version)`` or
+      ``("update-error", barrier_id, exc)``
+    * ``("stats", req_id)`` -> ``("stats", req_id, dict)``
+    * ``("stop",)`` -> clean exit.
+
+    The request queue is drained in bursts: everything immediately
+    available is submitted to the local server *before* blocking on
+    results, so the per-worker micro-batch window sees real company
+    and coalesced windows still become one multi-source block solve.
+    A worker never owns the shared segment — teardown only closes its
+    own mapping, so a SIGKILLed worker cannot leak ``/dev/shm``
+    entries (satisfying the ``shm-discipline`` contract from the
+    child side).
+    """
+    signal.signal(signal.SIGTERM, _raise_exit)
+    image = SharedGraphImage.attach(handle)
+    try:
+        engine = PPREngine.from_shared_graph(
+            image,
+            dynamic=config.dynamic,
+            alpha=config.alpha,
+            seed=config.seed,
+            dead_end_policy=config.dead_end_policy,
+            backend=config.backend,
+        )
+        server = EngineServer(
+            engine,
+            cache_capacity=config.cache_capacity,
+            cache_ttl=config.cache_ttl,
+            window=config.window,
+            max_batch=config.max_batch,
+        )
+        with server:
+            _serve_messages(
+                worker_id, server, requests, responses, config.max_batch
+            )
+    finally:
+        image.close()
+
+
+def _serve_messages(
+    worker_id: int,
+    server: EngineServer,
+    requests: Any,
+    responses: Any,
+    max_burst: int,
+) -> None:
+    """The worker's receive loop; returns on ``("stop",)`` / orphaning."""
+    while True:
+        try:
+            message = requests.get(timeout=1.0)
+        except queue.Empty:
+            if os.getppid() == 1:
+                # Re-parented to init: the dispatcher died without a
+                # stop message; exit rather than serve nobody.
+                return
+            continue
+        burst = [message]
+        while len(burst) < max_burst:
+            try:
+                burst.append(requests.get_nowait())
+            except queue.Empty:
+                break
+        pending: list[tuple[int, Future]] = []
+        for message in burst:
+            kind = message[0]
+            if kind == "query":
+                _, req_id, source, method, params, fresh = message
+                try:
+                    future = server.submit(
+                        source, method, fresh=fresh, **params
+                    )
+                except Exception as exc:  # noqa: BLE001 - forwarded
+                    responses.put(("error", req_id, exc))
+                    continue
+                pending.append((req_id, future))
+                continue
+            # Control messages order against queries: everything
+            # submitted before them must resolve first.
+            _flush(worker_id, pending, responses)
+            pending = []
+            if kind == "stop":
+                return
+            if kind == "update":
+                _, barrier_id, updates = message
+                try:
+                    version = server.apply_updates(updates)
+                except Exception as exc:  # noqa: BLE001 - forwarded
+                    responses.put(("update-error", barrier_id, exc))
+                else:
+                    responses.put(("updated", barrier_id, version))
+            elif kind == "stats":
+                responses.put(("stats", message[1], server.stats()))
+        _flush(worker_id, pending, responses)
+
+
+def _flush(
+    worker_id: int,
+    pending: list[tuple[int, Future]],
+    responses: Any,
+) -> None:
+    """Resolve a burst of submitted futures back to the dispatcher."""
+    for req_id, future in pending:
+        try:
+            served: ServedResult = future.result()
+        except Exception as exc:  # noqa: BLE001 - forwarded
+            responses.put(("error", req_id, exc))
+        else:
+            responses.put(
+                ("result", req_id, replace(served, worker=worker_id))
+            )
+
+
+def _ring_point(token: str) -> int:
+    """Stable 64-bit position on the hash ring for ``token``."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class _HashRing:
+    """Consistent hashing of source ids onto worker ids.
+
+    Each worker contributes ``vnodes`` points; a source routes to the
+    first point clockwise from its own hash.  Removing a worker moves
+    only the sources on its arcs — every other source keeps its worker
+    (and therefore its warm cache).
+    """
+
+    def __init__(self, vnodes: int) -> None:
+        self._vnodes = vnodes
+        self._points: list[int] = []
+        self._owners: dict[int, int] = {}
+
+    def add(self, worker_id: int) -> None:
+        for v in range(self._vnodes):
+            point = _ring_point(f"{worker_id}:{v}")
+            # blake2b collisions across our tiny point sets are
+            # vanishingly unlikely; first owner keeps the point.
+            if point in self._owners:
+                continue
+            bisect.insort(self._points, point)
+            self._owners[point] = worker_id
+
+    def remove(self, worker_id: int) -> None:
+        dropped = [
+            point
+            for point, owner in self._owners.items()
+            if owner == worker_id
+        ]
+        for point in dropped:
+            del self._owners[point]
+            index = bisect.bisect_left(self._points, point)
+            del self._points[index]
+
+    def route(self, source: int) -> int:
+        if not self._points:
+            raise RuntimeError("no live workers")
+        position = _ring_point(f"s:{source}")
+        index = bisect.bisect_right(self._points, position)
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    def __len__(self) -> int:
+        return len(set(self._owners.values()))
+
+
+@dataclass
+class _PendingRequest:
+    """What the dispatcher must remember to reroute or fail a request."""
+
+    future: Future
+    source: int
+    method: str
+    params: dict[str, Any]
+    fresh: bool
+
+
+@dataclass
+class _WorkerState:
+    """Parent-side bookkeeping for one shard."""
+
+    worker_id: int
+    process: Any
+    requests: Any
+    responses: Any
+    collector: threading.Thread | None = None
+    pending: dict[int, _PendingRequest] = field(default_factory=dict)
+    alive: bool = True
+
+
+@dataclass
+class _Barrier:
+    """One in-flight ``apply_updates`` broadcast."""
+
+    expected: set[int]
+    versions: dict[int, int] = field(default_factory=dict)
+    errors: list[BaseException] = field(default_factory=list)
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def settle_if_complete(self) -> None:
+        if len(self.versions) + len(self.errors) >= len(self.expected):
+            self.done.set()
+
+
+class ShardedDispatcher:
+    """Route queries to N worker processes sharing one graph image.
+
+    Parameters
+    ----------
+    graph_or_image:
+        A :class:`DiGraph` / :class:`DynamicGraph` to export into
+        shared memory (the dispatcher owns the segment and unlinks it
+        on close), or an already-exported
+        :class:`~repro.serving.shm.SharedGraphImage` whose lifecycle
+        the caller keeps.  A :class:`DynamicGraph` is snapshotted —
+        its current logical graph becomes the shared base — and
+        implies ``dynamic=True``.
+    workers:
+        Number of shard processes (>= 1).
+    dynamic:
+        Whether workers wrap the shared base in a per-process
+        :class:`DynamicGraph` overlay so :meth:`apply_updates` works.
+        Default: inferred from the graph argument.
+    alpha, seed, dead_end_policy, backend:
+        Per-worker engine construction (identical in every shard —
+        answers must not depend on placement).
+    cache_capacity, cache_ttl, window, max_batch:
+        Per-worker :class:`EngineServer` knobs.
+    start_method:
+        ``multiprocessing`` start method; default ``"fork"`` where
+        available (inherits the warmed import state), else the
+        platform default.  Workers attach the image by handle either
+        way, so spawn works identically, just slower to start.
+    vnodes:
+        Hash-ring points per worker.
+    update_timeout:
+        Seconds to wait for every worker's barrier ack in
+        :meth:`apply_updates` before declaring the cluster wedged.
+
+    The dispatcher mirrors :class:`EngineServer`'s surface —
+    ``submit``/``query``/``batch``/``apply_updates``/``stats``/
+    ``close`` and the context manager — so the loadtest harness and
+    the CLI switch between thread mode and process mode with one flag.
+    """
+
+    def __init__(
+        self,
+        graph_or_image: DiGraph | DynamicGraph | SharedGraphImage,
+        *,
+        workers: int = 2,
+        dynamic: bool | None = None,
+        alpha: float = 0.2,
+        seed: int = 0,
+        dead_end_policy: str = "redirect-to-source",
+        backend: str | None = None,
+        cache_capacity: int = 4096,
+        cache_ttl: float | None = None,
+        window: float = 0.002,
+        max_batch: int = 64,
+        start_method: str | None = None,
+        vnodes: int = _DEFAULT_VNODES,
+        update_timeout: float = 30.0,
+    ) -> None:
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        if vnodes < 1:
+            raise ParameterError(f"vnodes must be >= 1, got {vnodes}")
+        if isinstance(graph_or_image, SharedGraphImage):
+            self._image = graph_or_image
+            self._own_image = False
+            if dynamic is None:
+                dynamic = False
+        elif isinstance(graph_or_image, (DiGraph, DynamicGraph)):
+            base = (
+                graph_or_image.snapshot()
+                if isinstance(graph_or_image, DynamicGraph)
+                else graph_or_image
+            )
+            if dynamic is None:
+                dynamic = isinstance(graph_or_image, DynamicGraph)
+            self._image = SharedGraphImage.export_graph(base)
+            self._own_image = True
+        else:
+            raise ParameterError(
+                "ShardedDispatcher needs a DiGraph, DynamicGraph, or "
+                f"SharedGraphImage; got {type(graph_or_image).__name__}"
+            )
+        self._config = WorkerConfig(
+            alpha=alpha,
+            seed=seed,
+            dead_end_policy=dead_end_policy,
+            dynamic=bool(dynamic),
+            cache_capacity=cache_capacity,
+            cache_ttl=cache_ttl,
+            window=window,
+            max_batch=max_batch,
+            backend=backend,
+        )
+        self._update_timeout = float(update_timeout)
+        self._rwlock = RWLock()
+        #: guards ring/worker-state/counter mutations (never held while
+        #: blocking; collector threads take it too)
+        self._mutex = threading.Lock()
+        self._ring = _HashRing(vnodes)
+        self._states: dict[int, _WorkerState] = {}
+        self._next_id = 0
+        self._closed = False
+        self._stopping = False
+        self._version = 0
+        self._submitted = 0
+        self._rerouted = 0
+        self._worker_failures = 0
+        self._barriers: dict[int, _Barrier] = {}
+        if start_method is None and "fork" in get_all_start_methods():
+            start_method = "fork"
+        context = get_context(start_method)
+        try:
+            for worker_id in range(workers):
+                req_q = context.Queue()
+                resp_q = context.Queue()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(
+                        worker_id,
+                        self._image.handle,
+                        self._config,
+                        req_q,
+                        resp_q,
+                    ),
+                    name=f"repro-shard-{worker_id}",
+                    daemon=True,
+                )
+                process.start()
+                state = _WorkerState(
+                    worker_id=worker_id,
+                    process=process,
+                    requests=req_q,
+                    responses=resp_q,
+                )
+                self._states[worker_id] = state
+                self._ring.add(worker_id)
+            for state in self._states.values():
+                thread = threading.Thread(
+                    target=self._collect,
+                    args=(state,),
+                    name=f"repro-shard-collector-{state.worker_id}",
+                    daemon=True,
+                )
+                state.collector = thread
+                thread.start()
+        except BaseException:
+            self.close()
+            raise
+
+    # -- properties ------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        """Live worker count (shrinks when shards crash)."""
+        with self._mutex:
+            return sum(1 for s in self._states.values() if s.alive)
+
+    @property
+    def graph_version(self) -> int:
+        """Version confirmed by the last update barrier (0 initially)."""
+        with self._mutex:
+            return self._version
+
+    @property
+    def closed(self) -> bool:
+        with self._mutex:
+            return self._closed
+
+    @property
+    def image(self) -> SharedGraphImage:
+        """The shared graph image the shards serve from."""
+        return self._image
+
+    @property
+    def dynamic(self) -> bool:
+        """Whether the shards accept :meth:`apply_updates`."""
+        return self._config.dynamic
+
+    def route(self, source: int) -> int:
+        """The worker id ``source`` currently routes to (for tests)."""
+        with self._mutex:
+            return self._ring.route(int(source))
+
+    # -- read path -------------------------------------------------------
+    def submit(
+        self,
+        source: int,
+        method: str = "powerpush",
+        *,
+        fresh: bool = False,
+        **params: Any,
+    ) -> Future:
+        """Enqueue one query on its shard; future of :class:`ServedResult`.
+
+        Validates the method and parameter schema here, so typos raise
+        at the call site, not inside a worker.  Parameters must be
+        picklable scalars — live objects (``rng``, trace sinks,
+        pre-built indexes) cannot cross the process boundary and are
+        rejected up front.
+        """
+        source = int(source)
+        canonical, merged, key = resolve_request(source, method, params)
+        if key is None and params:
+            raise ParameterError(
+                "sharded serving requires scalar parameters; live "
+                "objects (rng, trace, indexes) cannot cross the "
+                "process boundary"
+            )
+        num_nodes = self._image.handle.num_nodes
+        if not 0 <= source < num_nodes:
+            raise NodeNotFoundError(
+                f"source {source} is outside [0, {num_nodes})"
+            )
+        with self._rwlock.read():
+            with self._mutex:
+                if self._closed:
+                    raise RuntimeError("dispatcher is closed")
+                worker_id = self._ring.route(source)
+                state = self._states[worker_id]
+                req_id = self._next_id
+                self._next_id += 1
+                self._submitted += 1
+                pending = _PendingRequest(
+                    future=Future(),
+                    source=source,
+                    method=canonical,
+                    params=dict(params),
+                    fresh=fresh,
+                )
+                state.pending[req_id] = pending
+            # Enqueued under the read lock: a writer that acquires
+            # after us sees this request ahead of its barrier message
+            # in the worker's FIFO, so it is answered pre-update.
+            state.requests.put(
+                ("query", req_id, source, canonical, dict(params), fresh)
+            )
+        return pending.future
+
+    def query(
+        self,
+        source: int,
+        method: str = "powerpush",
+        *,
+        fresh: bool = False,
+        timeout: float | None = None,
+        **params: Any,
+    ) -> ServedResult:
+        """Blocking convenience: ``submit(...).result(timeout)``."""
+        return self.submit(source, method, fresh=fresh, **params).result(
+            timeout
+        )
+
+    def batch(
+        self,
+        sources: Iterable[int],
+        method: str = "powerpush",
+        **params: Any,
+    ) -> list[ServedResult]:
+        """Submit many queries and wait for all, in source order."""
+        futures = [self.submit(s, method, **params) for s in sources]
+        return [f.result() for f in futures]
+
+    # -- write path ------------------------------------------------------
+    def apply_updates(self, updates: Iterable[tuple[str, int, int]]) -> int:
+        """Broadcast edge updates to every shard as a versioned barrier.
+
+        Takes the exclusive side of the dispatcher lock (new submits
+        queue behind it; per-worker FIFOs order the barrier after all
+        in-flight requests), sends the same batch to every live
+        worker, and waits — in timed slices, so a crashing worker is
+        noticed, not hung on — until each survivor acks with its new
+        graph version.  The versions must agree (every worker applied
+        the same update stream to the same base); the agreed version
+        is returned and all post-barrier answers carry it.
+        """
+        if not self._config.dynamic:
+            raise ParameterError(
+                "this dispatcher serves a static graph; construct it "
+                "with dynamic=True (or from a DynamicGraph) to accept "
+                "updates"
+            )
+        batch = [
+            (str(op), int(u), int(v)) for op, u, v in updates
+        ]
+        with self._rwlock.write():
+            with self._mutex:
+                if self._closed:
+                    raise RuntimeError("dispatcher is closed")
+                live = [s for s in self._states.values() if s.alive]
+                if not live:
+                    raise RuntimeError(
+                        "no live workers to broadcast updates to"
+                    )
+                barrier_id = self._next_id
+                self._next_id += 1
+                barrier = _Barrier(
+                    expected={s.worker_id for s in live}
+                )
+                self._barriers[barrier_id] = barrier
+            for state in live:
+                state.requests.put(("update", barrier_id, batch))
+            deadline = time.monotonic() + self._update_timeout
+            try:
+                while not barrier.done.wait(_POLL):
+                    if time.monotonic() > deadline:
+                        raise TimeoutError(
+                            f"update barrier {barrier_id} timed out "
+                            f"after {self._update_timeout:.0f}s; acks "
+                            f"from {sorted(barrier.versions)} of "
+                            f"{sorted(barrier.expected)}"
+                        )
+            finally:
+                with self._mutex:
+                    self._barriers.pop(barrier_id, None)
+            if barrier.errors:
+                raise barrier.errors[0]
+            versions = set(barrier.versions.values())
+            if len(versions) > 1:
+                raise RuntimeError(
+                    "shards diverged after update barrier: versions "
+                    f"{sorted(barrier.versions.items())}"
+                )
+            with self._mutex:
+                self._version = versions.pop() if versions else self._version
+                return self._version
+
+    # -- collector / failure handling ------------------------------------
+    def _collect(self, state: _WorkerState) -> None:
+        """Drain one worker's responses; detect and handle its death."""
+        while True:
+            try:
+                message = state.responses.get(timeout=_POLL)
+            except queue.Empty:
+                with self._mutex:
+                    if self._stopping:
+                        return
+                    alive = state.alive and state.process.is_alive()
+                if not alive:
+                    self._on_worker_death(state)
+                    return
+                continue
+            except (EOFError, OSError):
+                # Queue torn down under us (close() raced the read).
+                return
+            kind = message[0]
+            if kind == "result":
+                _, req_id, served = message
+                with self._mutex:
+                    pending = state.pending.pop(req_id, None)
+                if pending is not None:
+                    self._resolve(pending.future, served)
+            elif kind == "error":
+                _, req_id, exc = message
+                with self._mutex:
+                    pending = state.pending.pop(req_id, None)
+                if pending is not None:
+                    self._fail(pending.future, exc)
+            elif kind == "updated":
+                _, barrier_id, version = message
+                with self._mutex:
+                    barrier = self._barriers.get(barrier_id)
+                    if barrier is not None:
+                        barrier.versions[state.worker_id] = int(version)
+                        barrier.settle_if_complete()
+            elif kind == "update-error":
+                _, barrier_id, exc = message
+                with self._mutex:
+                    barrier = self._barriers.get(barrier_id)
+                    if barrier is not None:
+                        barrier.errors.append(exc)
+                        barrier.settle_if_complete()
+            elif kind == "stats":
+                _, req_id, stats = message
+                with self._mutex:
+                    pending = state.pending.pop(req_id, None)
+                if pending is not None:
+                    self._resolve(pending.future, stats)
+
+    @staticmethod
+    def _resolve(future: Future, value: Any) -> None:
+        if future.set_running_or_notify_cancel():
+            future.set_result(value)
+
+    @staticmethod
+    def _fail(future: Future, exc: BaseException) -> None:
+        try:
+            if future.set_running_or_notify_cancel():
+                future.set_exception(exc)
+        except Exception:  # repro: allow[lock-discipline] -- best-effort error delivery: a racing cancel already settled the future, the client has its outcome
+            pass
+
+    def _on_worker_death(self, state: _WorkerState) -> None:
+        """A shard died: shrink the ring, reroute its pending requests.
+
+        Every request the dead worker had not answered is resubmitted
+        through the normal routing path (which no longer includes the
+        dead worker); with no survivors the futures fail instead of
+        hanging.  Barriers waiting on the dead worker stop expecting
+        its ack.
+        """
+        with self._mutex:
+            if not state.alive:
+                return
+            state.alive = False
+            self._worker_failures += 1
+            self._ring.remove(state.worker_id)
+            orphaned = list(state.pending.values())
+            state.pending.clear()
+            for barrier in self._barriers.values():
+                barrier.expected.discard(state.worker_id)
+                barrier.settle_if_complete()
+            stopping = self._stopping
+        if stopping:
+            for request in orphaned:
+                self._fail(
+                    request.future,
+                    RuntimeError("dispatcher closed during dispatch"),
+                )
+            return
+        for request in orphaned:
+            self._reroute(request, died=state.worker_id)
+
+    def _reroute(self, request: _PendingRequest, *, died: int) -> None:
+        """Resubmit one orphaned request to a surviving shard."""
+        with self._mutex:
+            try:
+                worker_id = self._ring.route(request.source)
+            except RuntimeError:
+                worker_id = None
+            if worker_id is None:
+                self._fail(
+                    request.future,
+                    RuntimeError(
+                        f"worker {died} died and no live workers remain "
+                        f"for source {request.source}"
+                    ),
+                )
+                return
+            target = self._states[worker_id]
+            req_id = self._next_id
+            self._next_id += 1
+            self._rerouted += 1
+            target.pending[req_id] = request
+        target.requests.put(
+            (
+                "query",
+                req_id,
+                request.source,
+                request.method,
+                dict(request.params),
+                request.fresh,
+            )
+        )
+
+    # -- stats -----------------------------------------------------------
+    def stats(self, timeout: float = 10.0) -> dict[str, Any]:
+        """Aggregate dispatcher + per-worker serving statistics.
+
+        Shape-compatible with :meth:`EngineServer.stats` where it
+        matters (top-level ``"cache"`` with ``hit_rate``,
+        ``"scheduler"`` with ``batching_factor``), with per-worker
+        breakdowns under ``"per_worker"`` and dispatcher counters
+        (``rerouted``, ``worker_failures``) alongside.
+        """
+        futures: dict[int, Future] = {}
+        probes: list[tuple[_WorkerState, int]] = []
+        with self._rwlock.read():
+            with self._mutex:
+                if self._closed:
+                    raise RuntimeError("dispatcher is closed")
+                for state in self._states.values():
+                    if not state.alive:
+                        continue
+                    req_id = self._next_id
+                    self._next_id += 1
+                    future: Future = Future()
+                    state.pending[req_id] = _PendingRequest(
+                        future=future,
+                        source=-1,
+                        method="stats",
+                        params={},
+                        fresh=False,
+                    )
+                    futures[state.worker_id] = future
+                    probes.append((state, req_id))
+            for state, req_id in probes:
+                state.requests.put(("stats", req_id))
+        per_worker: dict[str, dict[str, Any]] = {}
+        for worker_id, future in futures.items():
+            try:
+                per_worker[str(worker_id)] = future.result(timeout=timeout)
+            except Exception:  # repro: allow[lock-discipline] -- a shard that died mid-stats simply drops out of the aggregate; its failure is already counted in worker_failures
+                continue
+        cache_totals = {
+            "hits": 0.0,
+            "misses": 0.0,
+            "insertions": 0.0,
+            "evictions": 0.0,
+            "expirations": 0.0,
+            "stale_drops": 0.0,
+            "invalidations": 0.0,
+        }
+        sched_totals = {
+            "submitted": 0.0,
+            "answered": 0.0,
+            "cache_answered": 0.0,
+            "batches": 0.0,
+            "engine_calls": 0.0,
+            "engine_sources": 0.0,
+            "failures": 0.0,
+            "max_group": 0.0,
+        }
+        for stats in per_worker.values():
+            for name in cache_totals:
+                cache_totals[name] += float(stats["cache"].get(name, 0.0))
+            sched = stats["scheduler"]
+            for name in sched_totals:
+                if name == "max_group":
+                    sched_totals[name] = max(
+                        sched_totals[name], float(sched.get(name, 0.0))
+                    )
+                else:
+                    sched_totals[name] += float(sched.get(name, 0.0))
+        lookups = cache_totals["hits"] + cache_totals["misses"]
+        cache: dict[str, float] = dict(cache_totals)
+        cache["hit_rate"] = cache_totals["hits"] / lookups if lookups else 0.0
+        scheduler: dict[str, float] = dict(sched_totals)
+        scheduler["batching_factor"] = (
+            sched_totals["answered"] / sched_totals["engine_calls"]
+            if sched_totals["engine_calls"]
+            else 0.0
+        )
+        with self._mutex:
+            return {
+                "requests": self._submitted,
+                "graph_version": self._version,
+                "workers": len(per_worker),
+                "rerouted": self._rerouted,
+                "worker_failures": self._worker_failures,
+                "cache": cache,
+                "scheduler": scheduler,
+                "per_worker": per_worker,
+            }
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Stop every shard and release the shared segment (idempotent).
+
+        Stop messages first, then a bounded join, escalating to
+        ``terminate`` (workers convert SIGTERM to a clean exit that
+        closes their mapping) and finally ``kill``.  Leftover futures
+        fail rather than hang.  The segment is closed here in the
+        parent and — when the dispatcher exported it — unlinked
+        exactly once, so a completed run leaves nothing in
+        ``/dev/shm``.
+        """
+        with self._mutex:
+            if self._closed:
+                return
+            self._closed = True
+            self._stopping = True
+            states = list(self._states.values())
+            for barrier in self._barriers.values():
+                barrier.errors.append(
+                    RuntimeError("dispatcher closed during update barrier")
+                )
+                barrier.done.set()
+            self._barriers.clear()
+        for state in states:
+            if state.alive:
+                try:
+                    state.requests.put(("stop",))
+                except (ValueError, OSError):
+                    # Queue already torn down by a dead worker's
+                    # feeder — nothing left to stop.
+                    pass
+        deadline = time.monotonic() + 5.0
+        for state in states:
+            state.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if state.process.is_alive():
+                state.process.terminate()
+                state.process.join(timeout=1.0)
+            if state.process.is_alive():
+                state.process.kill()
+                state.process.join(timeout=1.0)
+        for state in states:
+            if state.collector is not None:
+                state.collector.join(timeout=2.0)
+                state.collector = None
+        with self._mutex:
+            leftovers = [
+                request
+                for state in states
+                for request in state.pending.values()
+            ]
+            for state in states:
+                state.pending.clear()
+                state.alive = False
+        for request in leftovers:
+            self._fail(
+                request.future, RuntimeError("dispatcher is closed")
+            )
+        for state in states:
+            for q in (state.requests, state.responses):
+                try:
+                    q.cancel_join_thread()
+                    q.close()
+                except (ValueError, OSError):
+                    pass
+        if self._own_image:
+            self._image.cleanup()
+        else:
+            self._image.close()
+
+    def __enter__(self) -> "ShardedDispatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedDispatcher(workers={self.num_workers}, "
+            f"version={self.graph_version}, "
+            f"segment={self._image.segment_name!r})"
+        )

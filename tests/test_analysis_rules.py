@@ -605,6 +605,159 @@ class TestLockDiscipline:
         )
         assert findings == []
 
+    def test_flags_process_construction_under_writer_lock(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/srv.py": """\
+                import os
+                from multiprocessing import get_context
+
+                class Dispatcher:
+                    def bad(self, target):
+                        ctx = get_context("fork")
+                        with self._rwlock.write():
+                            worker = ctx.Process(target=target)
+                            pool = ctx.Pool(4)
+                            pid = os.fork()
+                        return worker, pool, pid
+                """
+            },
+            select=["lock-discipline"],
+        )
+        messages = " ".join(f.message for f in findings)
+        assert len(findings) == 3
+        assert "process/pool construction" in messages
+
+    def test_clean_process_construction_outside_lock(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/srv.py": """\
+                from multiprocessing import get_context
+
+                class Dispatcher:
+                    def ok(self, target):
+                        ctx = get_context("fork")
+                        worker = ctx.Process(target=target)
+                        with self._rwlock.write():
+                            self._workers.append(worker)
+                        return worker
+                """
+            },
+            select=["lock-discipline"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# shm-discipline
+# ---------------------------------------------------------------------------
+
+class TestShmDiscipline:
+    def test_flags_create_with_no_unlink_path(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/leaky.py": """\
+                from multiprocessing import shared_memory
+
+                class Image:
+                    def export(self, size):
+                        self._segment = shared_memory.SharedMemory(
+                            name="seg", create=True, size=size
+                        )
+                        return self._segment
+
+                def scratch(size):
+                    return shared_memory.SharedMemory(create=True, size=size)
+                """
+            },
+            select=["shm-discipline"],
+        )
+        assert len(findings) == 2
+        assert all(
+            "no reachable unlink()" in f.message for f in findings
+        )
+
+    def test_clean_guarded_creation(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/guarded.py": """\
+                from multiprocessing import shared_memory
+
+                def export(size):
+                    segment = shared_memory.SharedMemory(
+                        create=True, size=size
+                    )
+                    try:
+                        fill(segment)
+                    except BaseException:
+                        segment.close()
+                        segment.unlink()
+                        raise
+                    return segment
+                """
+            },
+            select=["shm-discipline"],
+        )
+        assert findings == []
+
+    def test_clean_class_teardown_method(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/owned.py": """\
+                from multiprocessing import shared_memory
+
+                class Image:
+                    def export(self, size):
+                        self._segment = shared_memory.SharedMemory(
+                            create=True, size=size
+                        )
+
+                    def cleanup(self):
+                        self._segment.close()
+                        self._segment.unlink()
+                """
+            },
+            select=["shm-discipline"],
+        )
+        assert findings == []
+
+    def test_attach_without_create_is_exempt(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/attach.py": """\
+                from multiprocessing import shared_memory
+
+                def attach(name):
+                    return shared_memory.SharedMemory(name=name)
+                """
+            },
+            select=["shm-discipline"],
+        )
+        assert findings == []
+
+    def test_suppressed_with_allow_comment(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/transient.py": """\
+                from multiprocessing import shared_memory
+
+                def scratch(size):
+                    return shared_memory.SharedMemory(  # repro: allow[shm-discipline] -- test scaffolding, unlinked by the fixture
+                        create=True, size=size
+                    )
+                """
+            },
+            select=["shm-discipline"],
+        )
+        assert findings == []
+
 
 # ---------------------------------------------------------------------------
 # workspace-discipline

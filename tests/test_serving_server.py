@@ -223,3 +223,19 @@ class TestStats:
     def test_repr_mentions_cache_and_version(self, server):
         text = repr(server)
         assert "EngineServer" in text and "version=0" in text
+
+
+class TestTeardown:
+    def test_close_is_idempotent(self, dyn):
+        srv = EngineServer(dyn, window=0.0, start=False)
+        assert not srv.closed
+        srv.close()
+        assert srv.closed
+        srv.close()  # a second close is a no-op, not an error
+        assert srv.closed
+
+    def test_context_manager_closes(self, dyn):
+        with EngineServer(dyn, window=0.0, start=False) as srv:
+            assert not srv.closed
+        assert srv.closed
+        srv.close()  # and close after __exit__ stays idempotent

@@ -1,0 +1,251 @@
+"""Tests for :class:`repro.serving.sharded.ShardedDispatcher`.
+
+The contract: N worker processes serve one shared-memory graph image
+behind consistent-hash routing, and none of that machinery is allowed
+to change an answer — every served byte matches the single-process
+engine.  Updates broadcast as a versioned barrier; a killed worker is
+detected, its pending requests rerouted, and teardown leaves zero
+``/dev/shm`` segments behind.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import PPREngine
+from repro.errors import (
+    NodeNotFoundError,
+    ParameterError,
+    UnknownMethodError,
+)
+from repro.generators.rmat import rmat_digraph
+from repro.graph.dynamic import DynamicGraph
+from repro.serving import EngineServer, ShardedDispatcher
+from repro.serving.shm import SEGMENT_PREFIX
+
+PARAMS = {"l1_threshold": 1e-6}
+
+
+@pytest.fixture(scope="module")
+def base():
+    rng = np.random.default_rng(23)
+    return rmat_digraph(8, 1500, rng=rng, name="shard-base")
+
+
+@pytest.fixture(scope="module")
+def dispatcher(base):
+    with ShardedDispatcher(base, workers=2, alpha=0.2, seed=7) as disp:
+        yield disp
+
+
+def our_shm_files() -> set[str]:
+    from pathlib import Path
+
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return set()
+    return {
+        p.name for p in shm_dir.iterdir()
+        if p.name.startswith(SEGMENT_PREFIX)
+    }
+
+
+def pick_updates(graph):
+    """Two deterministic edge inserts that are legal on ``graph``."""
+    updates = []
+    for u in (1, 2):
+        v = next(
+            v
+            for v in range(graph.num_nodes)
+            if v != u and not graph.has_edge(u, v)
+        )
+        updates.append(("add", u, v))
+    return updates
+
+
+class TestByteIdentity:
+    def test_matches_serial_engine_and_thread_server(self, base, dispatcher):
+        rng = np.random.default_rng(5)
+        trace = [int(s) for s in rng.integers(0, base.num_nodes, size=24)]
+        engine = PPREngine(base, alpha=0.2, seed=7)
+        with EngineServer(base, alpha=0.2, seed=7) as thread_server:
+            for source in trace:
+                sharded = dispatcher.query(source, "powerpush", **PARAMS)
+                threaded = thread_server.query(source, "powerpush", **PARAMS)
+                serial = engine.query(source, "powerpush", **PARAMS)
+                assert (
+                    sharded.result.estimate.tobytes()
+                    == serial.estimate.tobytes()
+                )
+                assert (
+                    sharded.result.estimate.tobytes()
+                    == threaded.result.estimate.tobytes()
+                )
+                assert sharded.worker == dispatcher.route(source)
+                assert threaded.worker is None
+
+    def test_batch_matches_serial(self, base, dispatcher):
+        sources = list(range(0, 40, 3))
+        engine = PPREngine(base, alpha=0.2, seed=7)
+        served = dispatcher.batch(sources, "powerpush", **PARAMS)
+        for source, answer in zip(sources, served):
+            serial = engine.query(source, "powerpush", **PARAMS)
+            assert answer.result.estimate.tobytes() == serial.estimate.tobytes()
+
+
+class TestRoutingAndStats:
+    def test_route_is_stable_and_covers_all_workers(self, dispatcher, base):
+        first = [dispatcher.route(s) for s in range(base.num_nodes)]
+        second = [dispatcher.route(s) for s in range(base.num_nodes)]
+        assert first == second
+        assert set(first) == {0, 1}
+
+    def test_repeat_query_hits_same_workers_cache(self, dispatcher):
+        source = 9
+        first = dispatcher.query(source, "powerpush", **PARAMS)
+        second = dispatcher.query(source, "powerpush", **PARAMS)
+        assert first.worker == second.worker == dispatcher.route(source)
+        assert second.cache_hit
+        assert second.result.estimate.tobytes() == first.result.estimate.tobytes()
+
+    def test_stats_aggregate_and_per_worker(self, dispatcher):
+        stats = dispatcher.stats()
+        assert stats["workers"] == 2
+        assert len(stats["per_worker"]) == 2
+        assert stats["cache"]["hits"] >= 1  # the repeat query above
+        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+        assert stats["worker_failures"] == 0
+
+    def test_validation_happens_in_the_dispatcher(self, dispatcher, base):
+        with pytest.raises(NodeNotFoundError):
+            dispatcher.query(base.num_nodes + 5, "powerpush", **PARAMS)
+        with pytest.raises(ParameterError, match="scalar parameters"):
+            dispatcher.query(0, "powerpush", l1_threshold=[1e-6])
+        with pytest.raises(UnknownMethodError):
+            dispatcher.query(0, "no-such-method")
+
+
+class TestUpdates:
+    def test_static_dispatcher_rejects_updates(self, dispatcher):
+        with pytest.raises(ParameterError, match="dynamic"):
+            dispatcher.apply_updates([("add", 0, 1)])
+
+    def test_barrier_returns_agreed_version_and_identical_answers(self, base):
+        updates = pick_updates(base)
+        with ShardedDispatcher(
+            DynamicGraph(base), workers=2, alpha=0.2, seed=7
+        ) as disp:
+            assert disp.graph_version == 0
+            version = disp.apply_updates(updates)
+            assert version == len(updates)
+            assert disp.graph_version == version
+
+            reference = PPREngine(DynamicGraph(base), alpha=0.2, seed=7)
+            reference.apply_updates(updates)
+            for source in (0, 1, 2, 7, 19):
+                served = disp.query(source, "powerpush", **PARAMS)
+                expected = reference.query(source, "powerpush", **PARAMS)
+                assert served.version == version
+                assert (
+                    served.result.estimate.tobytes()
+                    == expected.estimate.tobytes()
+                )
+
+    def test_barrier_ordering_under_concurrent_reads(self, base):
+        updates = pick_updates(base)
+        sources = (1, 2, 7)
+        with ShardedDispatcher(
+            DynamicGraph(base), workers=2, alpha=0.2, seed=7
+        ) as disp:
+            answers = []
+            stop = threading.Event()
+
+            def reader(source):
+                while not stop.is_set():
+                    served = disp.query(source, "powerpush", **PARAMS)
+                    answers.append((source, served))
+
+            threads = [
+                threading.Thread(target=reader, args=(s,), daemon=True)
+                for s in sources
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(0.10)
+            version = disp.apply_updates(updates)
+            time.sleep(0.10)
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+                assert not t.is_alive()
+
+            # Every answer carries either the pre- or post-barrier
+            # version — never a torn intermediate — and its bytes match
+            # the single-process engine at exactly that version.
+            pre = PPREngine(base, alpha=0.2, seed=7)
+            post = PPREngine(DynamicGraph(base), alpha=0.2, seed=7)
+            post.apply_updates(updates)
+            expected = {}
+            seen_versions = set()
+            for source, served in answers:
+                assert served.version in (0, version)
+                seen_versions.add(served.version)
+                key = (source, served.version)
+                if key not in expected:
+                    engine = pre if served.version == 0 else post
+                    expected[key] = engine.query(
+                        source, "powerpush", **PARAMS
+                    ).estimate.tobytes()
+                assert served.result.estimate.tobytes() == expected[key]
+            assert version in seen_versions, "no reader saw the new version"
+
+
+class TestCrashRecovery:
+    def test_killed_worker_reroutes_without_hangs(self, base):
+        with ShardedDispatcher(base, workers=2, alpha=0.2, seed=7) as disp:
+            sources = list(range(24))
+            disp.batch(sources, "powerpush", **PARAMS)  # all shards warm
+
+            victim = 0
+            os.kill(disp._states[victim].process.pid, signal.SIGKILL)
+
+            # Every future must resolve — rerouted to the survivor, not
+            # hung on the corpse.
+            futures = [
+                disp.submit(s, "powerpush", **PARAMS) for s in sources
+            ]
+            engine = PPREngine(base, alpha=0.2, seed=7)
+            for source, future in zip(sources, futures):
+                served = future.result(timeout=60)
+                assert served.worker == 1
+                expected = engine.query(source, "powerpush", **PARAMS)
+                assert (
+                    served.result.estimate.tobytes()
+                    == expected.estimate.tobytes()
+                )
+
+            assert disp.num_workers == 1
+            stats = disp.stats()
+            assert stats["worker_failures"] == 1
+            assert len(stats["per_worker"]) == 1
+
+
+class TestTeardown:
+    def test_close_idempotent_and_zero_leaked_segments(self, base):
+        before = our_shm_files()
+        disp = ShardedDispatcher(base, workers=2, alpha=0.2, seed=7)
+        disp.query(0, "powerpush", **PARAMS)
+        disp.close()
+        disp.close()
+        assert disp.closed
+        assert our_shm_files() == before
+
+    def test_submit_after_close_raises(self, base):
+        disp = ShardedDispatcher(base, workers=2, alpha=0.2, seed=7)
+        disp.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            disp.submit(0, "powerpush", **PARAMS)

@@ -1,0 +1,145 @@
+"""Tests for :mod:`repro.serving.shm` — shared-memory graph images.
+
+The contract: one process exports a graph's CSR arrays into a single
+shared-memory segment, any number of processes attach zero-copy views,
+and exactly one process — the exporter — unlinks the segment exactly
+once.  ``close`` is idempotent everywhere; nothing is left in
+``/dev/shm`` after cleanup.
+"""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import PPREngine
+from repro.errors import ParameterError
+from repro.generators.rmat import rmat_digraph
+from repro.serving.shm import (
+    SEGMENT_PREFIX,
+    SharedGraphImage,
+    live_segments,
+)
+
+PARAMS = {"l1_threshold": 1e-7}
+
+
+@pytest.fixture(scope="module")
+def base():
+    rng = np.random.default_rng(11)
+    return rmat_digraph(8, 1500, rng=rng, name="shm-base")
+
+
+def segment_exists(name: str) -> bool:
+    return (Path("/dev/shm") / name).exists()
+
+
+def our_shm_files() -> set[str]:
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return set()
+    return {
+        p.name for p in shm_dir.iterdir()
+        if p.name.startswith(SEGMENT_PREFIX)
+    }
+
+
+class TestExportAttach:
+    def test_round_trip_preserves_graph_and_answers(self, base):
+        with SharedGraphImage.export_graph(base) as image:
+            assert image.owner
+            attached = SharedGraphImage.attach(image.handle)
+            try:
+                assert not attached.owner
+                g = attached.graph()
+                assert g.num_nodes == base.num_nodes
+                assert g.num_edges == base.num_edges
+
+                ref = PPREngine(base, alpha=0.2, seed=7)
+                shm_engine = PPREngine(g, alpha=0.2, seed=7)
+                for source in (0, 3, 17, 101):
+                    a = ref.query(source, "powerpush", **PARAMS)
+                    b = shm_engine.query(source, "powerpush", **PARAMS)
+                    assert a.estimate.tobytes() == b.estimate.tobytes()
+            finally:
+                attached.close()
+
+    def test_engine_from_shared_graph_handle(self, base):
+        with SharedGraphImage.export_graph(base) as image:
+            engine = PPREngine.from_shared_graph(
+                image.handle, alpha=0.2, seed=7
+            )
+            try:
+                ref = PPREngine(base, alpha=0.2, seed=7)
+                a = ref.query(5, "powerpush", **PARAMS)
+                b = engine.query(5, "powerpush", **PARAMS)
+                assert a.estimate.tobytes() == b.estimate.tobytes()
+                assert engine.shared_image is not None
+            finally:
+                engine.shared_image.close()
+
+    def test_handle_is_picklable(self, base):
+        import pickle
+
+        with SharedGraphImage.export_graph(base) as image:
+            clone = pickle.loads(pickle.dumps(image.handle))
+            assert clone.segment == image.handle.segment
+            assert clone.num_nodes == base.num_nodes
+
+
+class TestOwnershipAndTeardown:
+    def test_unlink_owner_only_and_exactly_once(self, base):
+        image = SharedGraphImage.export_graph(base)
+        name = image.segment_name
+        attached = SharedGraphImage.attach(image.handle)
+
+        with pytest.raises(ParameterError, match="export"):
+            attached.unlink()
+        attached.close()
+        assert segment_exists(name), "non-owner close must not unlink"
+
+        image.close()
+        image.unlink()
+        assert not segment_exists(name)
+        image.unlink()  # second unlink: silent no-op, no FileNotFoundError
+
+    def test_forked_child_pid_guard_refuses_unlink(self, base, monkeypatch):
+        image = SharedGraphImage.export_graph(base)
+        name = image.segment_name
+        # Simulate the object arriving in a forked child: same instance,
+        # different pid.  unlink must silently refuse.
+        monkeypatch.setattr(image, "_owner_pid", os.getpid() + 1)
+        image.close()
+        image.unlink()
+        assert segment_exists(name), "a forked child unlinked the parent's segment"
+        monkeypatch.setattr(image, "_owner_pid", os.getpid())
+        image.cleanup()
+        assert not segment_exists(name)
+
+    def test_close_idempotent_and_invalidates_views(self, base):
+        image = SharedGraphImage.export_graph(base)
+        assert not image.closed
+        image.close()
+        image.close()
+        assert image.closed
+        with pytest.raises(ParameterError):
+            image.graph()
+        image.cleanup()
+        image.cleanup()  # cleanup after cleanup is also a no-op
+
+    def test_no_segments_survive_cleanup(self, base):
+        before = our_shm_files()
+        image = SharedGraphImage.export_graph(base)
+        assert image.segment_name in our_shm_files()
+        assert image.segment_name in live_segments()
+        image.cleanup()
+        assert image.segment_name not in live_segments()
+        assert our_shm_files() == before
+
+    def test_context_manager_cleans_up(self, base):
+        with SharedGraphImage.export_graph(base) as image:
+            name = image.segment_name
+            assert segment_exists(name)
+        assert not segment_exists(name)
+        assert image.closed
