@@ -94,6 +94,10 @@ def run_serving_bench(
     l1_threshold: float = 1e-7,
     arrival: str = "closed",
     arrival_rate: float = 500.0,
+    slo_ms: float | None = None,
+    deadline_ms: float | None = None,
+    max_inflight: int | None = None,
+    degrade_l1: float | None = None,
 ):
     """One measured loadtest run; returns the LoadtestReport."""
 
@@ -123,6 +127,14 @@ def run_serving_bench(
         concurrency=concurrency,
         window=window,
         workers=workers,
+        slo_ms=slo_ms,
+        deadline_ms=deadline_ms,
+        max_inflight=max_inflight,
+        degrade_params=(
+            {"l1_threshold": degrade_l1}
+            if degrade_l1 is not None
+            else None
+        ),
     )
 
 
@@ -238,6 +250,136 @@ def _run_process_comparison(args: argparse.Namespace, sizes) -> int:
     return 0
 
 
+def _run_overload(args: argparse.Namespace, sizes) -> int:
+    """``--overload``: open-loop flood through the async front door.
+
+    A short closed-loop run calibrates the server's sustainable
+    service rate; the measured run then arrives at
+    ``--overload-factor`` (default 3) times that rate, with deadlines,
+    admission shedding, and a degraded tier.  Five gates:
+
+    * every request is accounted (completed/shed/expired/failed — a
+      hung future would leave ``accounted < queries``),
+    * goodput under the SLO is strictly positive (the front door keeps
+      answering within SLO *while* overloaded),
+    * the run actually overloaded (something shed/degraded/expired),
+    * p99 of admitted requests stays bounded by the deadline (plus
+      scheduling slack) — overload degrades admission, not the tail,
+    * every served answer is byte-identical to the serial baseline
+      (full fidelity against the caller's request, degraded against
+      the degraded request), and no shm segments leak.
+    """
+    scale, edges, requests, sources = sizes
+    # Solve-dominated traffic (many distinct sources, tight threshold):
+    # overload must saturate the solver, not the result cache.
+    sources = max(sources, requests // 2)
+    common = dict(
+        scale=scale,
+        edges=edges,
+        sources=sources,
+        zipf=args.zipf,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        l1_threshold=1e-8,
+    )
+    calibration = run_serving_bench(
+        **common, requests=max(80, requests // 4)
+    )
+    service_rate = calibration.served.throughput_qps
+    arrival_rate = max(args.overload_factor * service_rate, 200.0)
+    print(
+        f"calibrated service rate {service_rate:.0f} q/s -> open-loop "
+        f"arrivals at {arrival_rate:.0f} q/s "
+        f"({args.overload_factor:.1f}x)"
+    )
+    report = run_serving_bench(
+        **common,
+        requests=requests,
+        arrival="open",
+        arrival_rate=arrival_rate,
+        slo_ms=args.slo_ms,
+        deadline_ms=args.deadline_ms,
+        max_inflight=args.max_inflight,
+        degrade_l1=args.degrade_l1,
+    )
+    print(report.render())
+
+    served = report.served
+    leaks = leaked_segments()
+    payload = {
+        "service_rate_qps": service_rate,
+        "arrival_rate_qps": arrival_rate,
+        "overload_factor": args.overload_factor,
+        "slo_ms": args.slo_ms,
+        "deadline_ms": args.deadline_ms,
+        "max_inflight": args.max_inflight,
+        "degrade_l1": args.degrade_l1,
+        "goodput_qps": served.goodput_qps,
+        "report": report.to_dict(),
+        "leaked_segments": leaks,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    # Merge alongside the baseline serving metrics rather than
+    # clobbering them: both runs feed one BENCH_serving.json.
+    existing: dict[str, Any] = {}
+    if out.exists():
+        existing = json.loads(out.read_text())
+    existing["overload"] = payload
+    out.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"metrics written to {out}")
+    print(
+        f"overload: goodput={served.goodput_qps:.0f} q/s "
+        f"shed={served.shed} degraded={served.degraded} "
+        f"deadline_expired={served.deadline_expired} "
+        f"failed={served.failed} accounted={served.accounted}/"
+        f"{served.queries}"
+    )
+
+    failed = False
+    if served.accounted != served.queries:
+        print(
+            f"FAIL: {served.queries - served.accounted} request(s) "
+            f"unaccounted — a future hung or vanished"
+        )
+        failed = True
+    if served.failed:
+        print(f"FAIL: {served.failed} unexpected request failure(s)")
+        failed = True
+    if served.within_slo <= 0:
+        print("FAIL: zero requests completed within the SLO under load")
+        failed = True
+    if not (served.shed + served.degraded + served.deadline_expired):
+        print(
+            "FAIL: nothing shed/degraded/expired — the run never "
+            "actually overloaded the server; raise --overload-factor"
+        )
+        failed = True
+    p99_bound_ms = args.deadline_ms * 1.5
+    if served.p99_ms > p99_bound_ms:
+        print(
+            f"FAIL: admitted p99 {served.p99_ms:.1f}ms above "
+            f"{p99_bound_ms:.0f}ms (deadline x1.5) — deadlines are "
+            f"not bounding the tail"
+        )
+        failed = True
+    if report.identical is not True:
+        print("FAIL: a served answer diverged from the serial baseline")
+        failed = True
+    if leaks:
+        print(f"FAIL: leaked shared-memory segments: {leaks}")
+        failed = True
+    if failed:
+        return 1
+    print(
+        f"OK: goodput {served.goodput_qps:.0f} q/s under a "
+        f"{args.slo_ms:.0f}ms SLO at {args.overload_factor:.1f}x "
+        f"overload; p99 {served.p99_ms:.1f}ms bounded; every request "
+        f"accounted; byte-identical answers"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Script entry point; ``--smoke`` runs a seconds-scale CI check."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -263,6 +405,23 @@ def main(argv: list[str] | None = None) -> int:
         "zero leaked segments",
     )
     parser.add_argument(
+        "--overload",
+        action="store_true",
+        help="open-loop overload run through the SLO-aware async front "
+        "door: gates goodput-under-SLO, full request accounting, "
+        "bounded p99, and byte-identity",
+    )
+    parser.add_argument(
+        "--overload-factor",
+        type=float,
+        default=3.0,
+        help="arrival rate as a multiple of the calibrated service rate",
+    )
+    parser.add_argument("--slo-ms", type=float, default=50.0)
+    parser.add_argument("--deadline-ms", type=float, default=150.0)
+    parser.add_argument("--max-inflight", type=int, default=64)
+    parser.add_argument("--degrade-l1", type=float, default=1e-4)
+    parser.add_argument(
         "--out",
         type=Path,
         default=DEFAULT_JSON,
@@ -277,6 +436,9 @@ def main(argv: list[str] | None = None) -> int:
             (args.scale, args.edges, args.requests, args.sources), defaults
         )
     )
+
+    if args.overload:
+        return _run_overload(args, (scale, edges, requests, sources))
 
     if args.workers:
         return _run_process_comparison(

@@ -116,6 +116,7 @@ from repro.metrics import (
 )
 from repro.montecarlo import chernoff_walk_count, monte_carlo_ppr
 from repro.serving import (
+    AsyncFrontDoor,
     EngineServer,
     QueryScheduler,
     ResultCache,
@@ -145,6 +146,7 @@ __all__ = [
     "canonical_method_name",
     "UnknownMethodError",
     # serving layer
+    "AsyncFrontDoor",
     "EngineServer",
     "QueryScheduler",
     "ResultCache",

@@ -214,6 +214,78 @@ class LockDisciplineRule(Rule):
         return not meaningful
 
 
+@register_rule
+class AsyncDisciplineRule(Rule):
+    id = "async-discipline"
+    summary = (
+        "no blocking calls (time.sleep, untimed .result()/.wait()) "
+        "inside async functions in the serving layer"
+    )
+    invariant = (
+        "An async def in repro.serving runs on the event loop: one "
+        "time.sleep or untimed future .result()/.wait() stalls every "
+        "in-flight request at once.  Blocking work belongs in the "
+        "executor (run_in_executor) or behind asyncio.wrap_future / "
+        "asyncio.wait_for; pauses use asyncio.sleep.  Sync defs "
+        "nested inside an async def are exempt — they run wherever "
+        "they are called, typically the executor."
+    )
+
+    _SERVING_PACKAGE = "repro.serving"
+    #: Attribute calls that park the calling thread when untimed.
+    _UNTIMED_BLOCKERS = frozenset({"result", "wait"})
+
+    def check_file(self, file: SourceFile) -> Iterable[Finding]:
+        if not file.in_package(self._SERVING_PACKAGE):
+            return
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(file, node)
+
+    def _check_async_body(
+        self, file: SourceFile, fn: ast.AsyncFunctionDef
+    ) -> Iterable[Finding]:
+        # Walk the async function's own statements only: a nested def
+        # is its own execution context (sync helpers run off-loop via
+        # the executor; nested async defs are visited on their own by
+        # the outer walk), so the scan resets at function boundaries.
+        stack: list[ast.AST] = list(fn.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                reason = self._blocking_reason(node)
+                if reason is not None:
+                    yield self.finding(
+                        file,
+                        node,
+                        f"{reason} inside async def {fn.name}() blocks "
+                        f"the event loop; use asyncio.sleep / "
+                        f"wrap_future / wait_for, or push the call into "
+                        f"run_in_executor",
+                    )
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _blocking_reason(self, call: ast.Call) -> str | None:
+        name = dotted_name(call.func)
+        if name == "sleep" or (
+            name is not None
+            and name.endswith(".sleep")
+            and not name.endswith("asyncio.sleep")
+        ):
+            return f"blocking sleep {name}()"
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        attr = call.func.attr
+        if attr in self._UNTIMED_BLOCKERS and not call.args:
+            has_timeout = any(kw.arg == "timeout" for kw in call.keywords)
+            if not has_timeout:
+                return f"untimed .{attr}()"
+        return None
+
+
 #: Method names that count as a teardown surface for an owned segment.
 _SHM_CLEANUP_METHODS = frozenset(
     {"close", "unlink", "cleanup", "__exit__", "__del__"}

@@ -236,6 +236,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard serving across N worker processes mapping one "
         "shared-memory graph image (0 = in-process thread mode)",
     )
+    serve.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        help="serve through the async front door with this latency SLO: "
+        "overload degrades to --degrade-l1 or sheds",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request budget; expired requests fail fast with "
+        "DeadlineExceeded instead of occupying a batch slot",
+    )
+    serve.add_argument(
+        "--degrade-l1",
+        type=float,
+        default=1e-4,
+        help="l1_threshold of the degraded tier the front door falls "
+        "back to when predicted p99 blows --slo-ms",
+    )
 
     loadtest = sub.add_parser(
         "loadtest",
@@ -283,6 +304,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="serve through N shard processes over a shared-memory "
         "graph image instead of the thread-based server",
+    )
+    loadtest.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        help="drive through the SLO-aware async front door (open "
+        "arrival only); reports goodput under this SLO",
+    )
+    loadtest.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request budget for the front-door drive",
+    )
+    loadtest.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="admission bound: arrivals beyond this many in-flight "
+        "requests are shed",
+    )
+    loadtest.add_argument(
+        "--degrade-l1",
+        type=float,
+        default=1e-4,
+        help="l1_threshold of the degraded tier under overload",
     )
 
     from repro.analysis.runner import add_lint_arguments
@@ -448,8 +495,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     works); ``stats`` prints the serving counters; ``quit`` or EOF
     stops.
     """
+    import asyncio
+
     from repro.graph.dynamic import DynamicGraph
-    from repro.serving import EngineServer, ShardedDispatcher
+    from repro.serving import AsyncFrontDoor, EngineServer, ShardedDispatcher
 
     dynamic = DynamicGraph(load_dataset(args.dataset))
     if args.workers:
@@ -475,6 +524,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_ttl=args.cache_ttl,
         )
         mode = "in-process threads"
+    door: AsyncFrontDoor | None = None
+    if args.slo_ms is not None or args.deadline_ms is not None:
+        door = AsyncFrontDoor(
+            server,
+            slo_ms=args.slo_ms,
+            deadline_ms=args.deadline_ms,
+            degrade_params={"l1_threshold": args.degrade_l1},
+        )
+        mode += (
+            f", async front door (slo={args.slo_ms}ms, "
+            f"deadline={args.deadline_ms}ms)"
+        )
     print(
         f"serving {args.dataset} (n={dynamic.num_nodes}, "
         f"m={dynamic.num_edges}; {mode}); one request per line "
@@ -491,6 +552,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             try:
                 if head == "stats":
                     _print_server_stats(server)
+                    if door is not None:
+                        snap = door.snapshot()
+                        print(
+                            f"frontdoor: completed={snap['completed']} "
+                            f"degraded={snap['degraded']} "
+                            f"shed={snap['shed']} "
+                            f"deadline_expired={snap['deadline_expired']}"
+                        )
                 elif head in ("+", "-"):
                     if len(tokens) != 3:
                         raise ReproError(f"usage: {head} U V")
@@ -519,10 +588,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                             token.split("=", 1) for token in rest
                         )
                     }
-                    served = server.query(source, method, **params)
+                    if door is not None:
+                        served = asyncio.run(
+                            door.submit(source, method, **params)
+                        )
+                    else:
+                        served = server.query(source, method, **params)
                     origin = "cache" if served.cache_hit else (
                         f"batch of {served.batch_size}"
                     )
+                    if served.degraded:
+                        origin += ", degraded"
                     if served.worker is not None:
                         origin += f", shard {served.worker}"
                     print(
@@ -631,6 +707,15 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         cache_capacity=args.cache_capacity,
         workers=args.workers,
+        slo_ms=args.slo_ms,
+        deadline_ms=args.deadline_ms,
+        max_inflight=args.max_inflight,
+        degrade_params=(
+            {"l1_threshold": args.degrade_l1}
+            if (args.slo_ms is not None or args.deadline_ms is not None)
+            and spec.accepts("l1_threshold")
+            else None
+        ),
     )
     print(report.render())
     if args.out is not None:

@@ -45,6 +45,29 @@ class ConvergenceError(ReproError):
     """An iterative solver exhausted its iteration budget before converging."""
 
 
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A request's deadline passed before an answer could be produced.
+
+    Raised by the serving layer: at submit time when the budget is
+    already spent, at dispatch time when a queued request expired
+    inside the micro-batch window (it is failed fast instead of
+    occupying a batch slot), and by the async front door when the
+    solve outlives the remaining budget.  Inherits from
+    :class:`TimeoutError` so generic timeout handlers keep working.
+    """
+
+
+class ServerOverloadedError(ReproError):
+    """Admission control shed a request to protect the SLO.
+
+    Raised by :class:`~repro.serving.frontdoor.AsyncFrontDoor` when
+    predicted tail latency (or the in-flight bound) says admitting the
+    request would blow the service-level objective and no degraded
+    tier can absorb it.  The request was never enqueued; retrying
+    later is safe.
+    """
+
+
 class UnknownMethodError(ReproError, KeyError):
     """A method name does not resolve to any registered solver.
 

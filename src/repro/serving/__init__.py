@@ -24,6 +24,10 @@ this package makes it a *service*:
   zero-copy shared-memory graph image, fronted by consistent-hash
   routing on the source id (cache affinity) with ``apply_updates``
   broadcast as a versioned barrier.
+* :class:`~repro.serving.frontdoor.AsyncFrontDoor` — the asyncio
+  admission tier over either backend: per-request deadlines, SLO-aware
+  shedding/degradation, and an arrival-rate-adaptive micro-batch
+  window.
 """
 
 from repro.serving.cache import (
@@ -32,7 +36,13 @@ from repro.serving.cache import (
     make_cache_key,
     resolve_request,
 )
-from repro.serving.loadtest import LoadtestReport, RunMetrics, run_loadtest
+from repro.serving.frontdoor import AsyncFrontDoor, FrontDoorStats
+from repro.serving.loadtest import (
+    LoadtestReport,
+    LoadtestStats,
+    RunMetrics,
+    run_loadtest,
+)
 from repro.serving.locks import RWLock
 from repro.serving.scheduler import QueryScheduler, SchedulerStats, ServedResult
 from repro.serving.server import EngineServer
@@ -41,6 +51,8 @@ from repro.serving.shm import SharedGraphHandle, SharedGraphImage
 from repro.serving.workload import Operation, Workload, WorkloadGenerator
 
 __all__ = [
+    "AsyncFrontDoor",
+    "FrontDoorStats",
     "EngineServer",
     "QueryScheduler",
     "SchedulerStats",
@@ -58,6 +70,7 @@ __all__ = [
     "Workload",
     "Operation",
     "LoadtestReport",
+    "LoadtestStats",
     "RunMetrics",
     "run_loadtest",
 ]

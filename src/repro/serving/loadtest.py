@@ -20,10 +20,24 @@ graphs identically: an update is sampled and applied at the moment its
 operation is claimed (before the claim cursor advances), which pins
 the sampling state, the RNG draw order, and the apply order to the
 workload's operation order in both runs.
+
+**Overload experiments.**  With ``slo_ms``/``deadline_ms`` set (open
+arrival only), the served run is driven through the
+:class:`~repro.serving.frontdoor.AsyncFrontDoor`: requests carry
+deadlines, admission control sheds or degrades under pressure, and the
+report accounts for every single request — ``completed`` (full or
+degraded), ``shed``, ``deadline_expired``, or ``failed`` — instead of
+silently dropping the ones that never resolved.  Throughput counts
+only completions; *goodput* counts only completions inside the SLO.
+Every served answer, degraded ones included, is still verified
+byte-identical to a serial engine solving the same (possibly degraded)
+request — overload changes whether and how a request is served, never
+what a served answer is.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import queue
 import threading
@@ -36,40 +50,112 @@ import numpy as np
 
 from repro.api.engine import PPREngine
 from repro.api.registry import resolve_method
-from repro.errors import ParameterError
+from repro.errors import (
+    DeadlineExceeded,
+    ParameterError,
+    ServerOverloadedError,
+)
 from repro.graph.digraph import DiGraph
 from repro.graph.dynamic import DynamicGraph, sample_edge_update
+from repro.serving.frontdoor import AsyncFrontDoor
 from repro.serving.server import EngineServer
 from repro.serving.scheduler import ServedResult
 from repro.serving.sharded import ShardedDispatcher
 from repro.serving.workload import Operation, Workload
 
-__all__ = ["LoadtestReport", "RunMetrics", "run_loadtest"]
+__all__ = ["LoadtestReport", "LoadtestStats", "RunMetrics", "run_loadtest"]
 
 
 @dataclass
-class RunMetrics:
-    """Throughput/latency summary of one workload replay."""
+class LoadtestStats:
+    """Outcome-accounted throughput/latency summary of one replay.
+
+    Every query operation ends in exactly one bucket: ``completed``
+    (answered, possibly ``degraded``), ``shed`` (admission control),
+    ``deadline_expired`` (budget spent before an answer), or
+    ``failed`` (unexpected error).  ``throughput_qps`` counts only
+    completions — a shed request is not throughput — and
+    ``goodput_qps`` only completions within the SLO.
+    """
 
     wall_seconds: float
     queries: int
     updates: int
     p50_ms: float
     p99_ms: float
+    completed: int = -1
+    degraded: int = 0
+    shed: int = 0
+    deadline_expired: int = 0
+    failed: int = 0
+    slo_ms: float | None = None
+    within_slo: int = -1
+
+    def __post_init__(self) -> None:
+        # Legacy construction sites predate outcome accounting: a run
+        # that reports no outcomes completed everything it was asked.
+        if self.completed < 0:
+            self.completed = self.queries
+        if self.within_slo < 0:
+            self.within_slo = self.completed
+
+    @property
+    def accounted(self) -> int:
+        """Requests with a known fate; must equal ``queries`` (no
+        request may simply vanish — a hung future is a bug)."""
+        return (
+            self.completed + self.shed + self.deadline_expired + self.failed
+        )
 
     @property
     def throughput_qps(self) -> float:
-        return self.queries / self.wall_seconds if self.wall_seconds else 0.0
+        return (
+            self.completed / self.wall_seconds if self.wall_seconds else 0.0
+        )
+
+    @property
+    def goodput_qps(self) -> float:
+        """Completions inside the SLO per second (== throughput when
+        no SLO was set)."""
+        if not self.wall_seconds:
+            return 0.0
+        return self.within_slo / self.wall_seconds
+
+    @property
+    def error_rate(self) -> float:
+        return self.failed / self.queries if self.queries else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.queries if self.queries else 0.0
 
     def as_dict(self) -> dict[str, float]:
-        return {
+        doc = {
             "wall_seconds": self.wall_seconds,
             "queries": self.queries,
             "updates": self.updates,
             "throughput_qps": self.throughput_qps,
             "p50_ms": self.p50_ms,
             "p99_ms": self.p99_ms,
+            "completed": self.completed,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
+            "failed": self.failed,
+            "accounted": self.accounted,
+            "error_rate": self.error_rate,
+            "shed_rate": self.shed_rate,
+            "goodput_qps": self.goodput_qps,
         }
+        if self.slo_ms is not None:
+            doc["slo_ms"] = self.slo_ms
+            doc["within_slo"] = self.within_slo
+        return doc
+
+
+#: Backwards-compatible alias — earlier releases exported the summary
+#: as ``RunMetrics`` (no outcome accounting).
+RunMetrics = LoadtestStats
 
 
 @dataclass
@@ -79,14 +165,16 @@ class LoadtestReport:
     workload: str
     method: str
     concurrency: int
-    served: RunMetrics
-    serial: RunMetrics
+    served: LoadtestStats
+    serial: LoadtestStats
     cache_hit_rate: float
     batching_factor: float
     identical: bool | None
     server_stats: dict[str, Any] = field(default_factory=dict)
     #: shard processes the served run used (0 = in-process thread mode)
     workers: int = 0
+    #: front-door admission counters when the run was SLO-aware
+    frontdoor: dict[str, Any] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -96,7 +184,7 @@ class LoadtestReport:
         return self.served.throughput_qps / self.serial.throughput_qps
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "workload": self.workload,
             "method": self.method,
             "concurrency": self.concurrency,
@@ -109,6 +197,9 @@ class LoadtestReport:
             "identical": self.identical,
             "server_stats": self.server_stats,
         }
+        if self.frontdoor:
+            doc["frontdoor"] = self.frontdoor
+        return doc
 
     def write_json(self, path: str | Path) -> Path:
         path = Path(path)
@@ -141,6 +232,16 @@ class LoadtestReport:
             f"{self.batching_factor:.2f}",
             f"  answers byte-identical to serial: {identical}",
         ]
+        if self.served.slo_ms is not None:
+            lines.insert(
+                2,
+                f"  slo    : {self.served.goodput_qps:9.1f} q/s goodput "
+                f"(<= {self.served.slo_ms:.0f} ms)   "
+                f"shed {self.served.shed}   "
+                f"degraded {self.served.degraded}   "
+                f"deadline {self.served.deadline_expired}   "
+                f"failed {self.served.failed}",
+            )
         return "\n".join(lines)
 
 
@@ -168,7 +269,7 @@ def _run_serial(
     alpha: float,
     seed: int,
     collect: bool,
-) -> tuple[RunMetrics, dict[int, np.ndarray]]:
+) -> tuple[LoadtestStats, dict[int, np.ndarray]]:
     """The baseline: one engine, one thread, one query at a time."""
     engine = PPREngine(make_graph(), alpha=alpha, seed=seed)
     _require_dynamic(engine, workload)
@@ -189,7 +290,7 @@ def _run_serial(
     wall = time.perf_counter() - started
     p50, p99 = _percentiles(latencies)
     return (
-        RunMetrics(
+        LoadtestStats(
             wall_seconds=wall,
             queries=workload.num_queries,
             updates=workload.num_updates,
@@ -198,6 +299,79 @@ def _run_serial(
         ),
         estimates,
     )
+
+
+def _drive_frontdoor(
+    server: EngineServer | ShardedDispatcher,
+    operations: list[Operation],
+    method: str,
+    params: Mapping[str, Any],
+    *,
+    slo_ms: float | None,
+    deadline_ms: float | None,
+    degrade_method: str | None,
+    degrade_params: Mapping[str, Any] | None,
+    max_inflight: int | None,
+    collect: bool,
+    latencies: list[float | None],
+    estimates: dict[int, np.ndarray],
+    degraded_estimates: dict[int, tuple[int, np.ndarray]],
+    counts: dict[str, int],
+    errors: list[BaseException],
+) -> AsyncFrontDoor:
+    """Open-loop SLO-aware drive through the async front door.
+
+    Requests are paced with ``asyncio.sleep`` at the workload's
+    arrival times and awaited as tasks — overload never blocks the
+    arrival process, which is the whole point of the open loop.  Every
+    request resolves into exactly one outcome bucket, so the caller
+    can assert nothing hung.
+    """
+    door = AsyncFrontDoor(
+        server,
+        slo_ms=slo_ms,
+        deadline_ms=deadline_ms,
+        degrade_method=degrade_method,
+        degrade_params=dict(degrade_params) if degrade_params else None,
+        max_inflight=max_inflight,
+    )
+
+    async def _one(op: Operation) -> None:
+        begin = time.perf_counter()
+        try:
+            served = await door.submit(op.source, method, **dict(params))
+        except DeadlineExceeded:
+            counts["deadline_expired"] += 1
+        except ServerOverloadedError:
+            counts["shed"] += 1
+        except BaseException as exc:  # noqa: BLE001 - accounted + reported
+            counts["failed"] += 1
+            errors.append(exc)
+        else:
+            latencies[op.index] = time.perf_counter() - begin
+            if served.degraded:
+                counts["degraded"] += 1
+                if collect:
+                    degraded_estimates[op.index] = (
+                        op.source,
+                        served.result.estimate,
+                    )
+            elif collect:
+                estimates[op.index] = served.result.estimate
+
+    async def _drive() -> None:
+        started = time.perf_counter()
+        tasks: list[asyncio.Task] = []
+        for op in operations:
+            delay = started + op.at - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(asyncio.ensure_future(_one(op)))
+        if tasks:
+            await asyncio.gather(*tasks)
+
+    asyncio.run(_drive())
+    return door
 
 
 def _run_served(
@@ -215,10 +389,21 @@ def _run_served(
     cache_ttl: float | None,
     collect: bool,
     workers: int = 0,
-) -> tuple[RunMetrics, dict[int, np.ndarray], dict[str, Any]]:
+    slo_ms: float | None = None,
+    deadline_ms: float | None = None,
+    degrade_method: str | None = None,
+    degrade_params: Mapping[str, Any] | None = None,
+    max_inflight: int | None = None,
+) -> tuple[
+    LoadtestStats,
+    dict[int, np.ndarray],
+    dict[int, tuple[int, np.ndarray]],
+    dict[str, Any],
+]:
     """Replay the workload against an :class:`EngineServer` — or, with
     ``workers >= 1``, a :class:`ShardedDispatcher` over that many
     worker processes sharing one shared-memory graph image."""
+    slo_aware = slo_ms is not None or deadline_ms is not None
     server: EngineServer | ShardedDispatcher
     mirror: DynamicGraph | None = None
     if workers:
@@ -259,8 +444,11 @@ def _run_served(
     operations = workload.operations
     latencies: list[float | None] = [None] * len(operations)
     estimates: dict[int, np.ndarray] = {}
+    degraded_estimates: dict[int, tuple[int, np.ndarray]] = {}
     estimates_mutex = threading.Lock()
     errors: list[BaseException] = []
+    counts = {"degraded": 0, "shed": 0, "deadline_expired": 0, "failed": 0}
+    frontdoor_snapshot: dict[str, Any] = {}
 
     def _apply_one_update() -> None:
         if mirror is not None:
@@ -280,7 +468,28 @@ def _run_served(
 
     with server:
         started = time.perf_counter()
-        if workload.arrival == "open":
+        if slo_aware:
+            # SLO-aware open loop: paced async submission through the
+            # front door, with deadlines, shedding, and degradation.
+            door = _drive_frontdoor(
+                server,
+                operations,
+                method,
+                params,
+                slo_ms=slo_ms,
+                deadline_ms=deadline_ms,
+                degrade_method=degrade_method,
+                degrade_params=degrade_params,
+                max_inflight=max_inflight,
+                collect=collect,
+                latencies=latencies,
+                estimates=estimates,
+                degraded_estimates=degraded_estimates,
+                counts=counts,
+                errors=errors,
+            )
+            frontdoor_snapshot = door.snapshot()
+        elif workload.arrival == "open":
             # Open loop: one pacing thread submits at the workload's
             # Poisson arrival times and never waits for completions.
             # Updates go through a dedicated writer thread (FIFO, so
@@ -311,9 +520,12 @@ def _run_served(
             ) -> Callable[[Any], None]:
                 # Completion time is stamped by the resolving thread —
                 # charging collection-loop time would inflate the tail
-                # of every request that finished during pacing.
+                # of every request that finished during pacing.  Failed
+                # futures get no latency sample; the collection loop
+                # below surfaces (and accounts) their exception.
                 def _done(future: Any) -> None:
-                    latencies[op.index] = time.perf_counter() - begin
+                    if future.exception() is None:
+                        latencies[op.index] = time.perf_counter() - begin
 
                 return _done
 
@@ -333,7 +545,11 @@ def _run_served(
                 futures.append((op, future))
             update_queue.put(_STOP)
             for op, future in futures:
-                _answer(op, future.result())
+                try:
+                    _answer(op, future.result())
+                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    counts["failed"] += 1
+                    errors.append(exc)
             updater.join()
         else:
             # Closed loop: `concurrency` workers drain a shared cursor.
@@ -377,18 +593,38 @@ def _run_served(
                 thread.join()
         wall = time.perf_counter() - started
         stats = server.stats()
-    if errors:
+    if frontdoor_snapshot:
+        stats = dict(stats)
+        stats["frontdoor"] = frontdoor_snapshot
+    if errors and not slo_aware:
+        # Outside the SLO-aware drive there is no expected failure
+        # mode: any exception is an infrastructure bug — surface it.
         raise errors[0]
-    p50, p99 = _percentiles([lat for lat in latencies if lat is not None])
+    completed_latencies = [lat for lat in latencies if lat is not None]
+    completed = len(completed_latencies)
+    p50, p99 = _percentiles(completed_latencies)
+    within = (
+        sum(1 for lat in completed_latencies if lat * 1e3 <= slo_ms)
+        if slo_ms is not None
+        else completed
+    )
     return (
-        RunMetrics(
+        LoadtestStats(
             wall_seconds=wall,
             queries=workload.num_queries,
             updates=workload.num_updates,
             p50_ms=p50,
             p99_ms=p99,
+            completed=completed,
+            degraded=counts["degraded"],
+            shed=counts["shed"],
+            deadline_expired=counts["deadline_expired"],
+            failed=counts["failed"],
+            slo_ms=slo_ms,
+            within_slo=within,
         ),
         estimates,
+        degraded_estimates,
         stats,
     )
 
@@ -408,6 +644,11 @@ def run_loadtest(
     cache_ttl: float | None = None,
     compare: bool = True,
     workers: int = 0,
+    slo_ms: float | None = None,
+    deadline_ms: float | None = None,
+    degrade_method: str | None = None,
+    degrade_params: Mapping[str, Any] | None = None,
+    max_inflight: int | None = None,
 ) -> LoadtestReport:
     """Measure served vs serial replay of ``workload``; see module doc.
 
@@ -423,17 +664,46 @@ def run_loadtest(
     (answers stay byte-identical either way — placement never changes
     a seeded answer).  ``concurrency`` then counts the closed-loop
     client threads driving the dispatcher.
+
+    ``slo_ms``/``deadline_ms`` switch the served run to the SLO-aware
+    async front door (open arrival, read-only workloads only): every
+    request carries a deadline, overload sheds or degrades (to
+    ``degrade_method``/``degrade_params`` when given), and the report
+    accounts every request's fate plus goodput-under-SLO.  Served
+    full-fidelity answers are verified against the serial baseline as
+    usual; served *degraded* answers are verified against a serial
+    engine solving the degraded request — byte-identity is a property
+    of every answer actually served, not only the lucky ones.
     """
     if concurrency < 1:
         raise ParameterError(f"concurrency must be >= 1, got {concurrency}")
     if workers < 0:
         raise ParameterError(f"workers must be >= 0, got {workers}")
+    slo_aware = slo_ms is not None or deadline_ms is not None
+    if slo_aware and workload.arrival != "open":
+        raise ParameterError(
+            "slo_ms/deadline_ms require an open-loop workload "
+            "(arrival='open'): a closed loop self-throttles, so there "
+            "is no overload to control admission for"
+        )
+    if slo_aware and workload.num_updates:
+        raise ParameterError(
+            "slo_ms/deadline_ms require a read-only workload; drive "
+            "write traffic through AsyncFrontDoor.apply_updates directly"
+        )
+    if (degrade_method or degrade_params) and not slo_aware:
+        raise ParameterError(
+            "degrade_method/degrade_params only apply with slo_ms set"
+        )
     params = dict(params or {})
     spec, _ = resolve_method(method)
     comparable = (
         compare and not spec.needs_rng and workload.num_updates == 0
     )
-    served_metrics, served_estimates, stats = _run_served(
+    if comparable and degrade_method is not None:
+        degrade_spec, _ = resolve_method(degrade_method)
+        comparable = not degrade_spec.needs_rng
+    served_metrics, served_estimates, degraded_estimates, stats = _run_served(
         make_graph,
         workload,
         method,
@@ -447,6 +717,11 @@ def run_loadtest(
         cache_ttl=cache_ttl,
         collect=comparable,
         workers=workers,
+        slo_ms=slo_ms,
+        deadline_ms=deadline_ms,
+        degrade_method=degrade_method,
+        degrade_params=degrade_params,
+        max_inflight=max_inflight,
     )
     serial_metrics, serial_estimates = _run_serial(
         make_graph,
@@ -459,10 +734,28 @@ def run_loadtest(
     )
     identical: bool | None = None
     if comparable:
+        # Only answers actually served are checked (an SLO run sheds
+        # or expires some) — every one of them must match the sync
+        # path bit for bit.
         identical = all(
             np.array_equal(served_estimates[index], serial_estimates[index])
-            for index in serial_estimates
+            for index in served_estimates
         )
+        if identical and degraded_estimates:
+            # Degraded answers are the sync answer to the *degraded*
+            # request: replay those requests on a fresh serial engine.
+            engine = PPREngine(make_graph(), alpha=alpha, seed=seed)
+            check_method = degrade_method or spec.name
+            check_params = dict(degrade_params or {})
+            identical = all(
+                np.array_equal(
+                    estimate,
+                    engine.query(
+                        source, check_method, **check_params
+                    ).estimate,
+                )
+                for source, estimate in degraded_estimates.values()
+            )
     return LoadtestReport(
         workload=workload.describe(),
         method=spec.name,
@@ -474,4 +767,5 @@ def run_loadtest(
         identical=identical,
         server_stats=stats,
         workers=workers,
+        frontdoor=dict(stats.get("frontdoor", {})),
     )

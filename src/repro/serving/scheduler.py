@@ -35,13 +35,13 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.api.engine import PPREngine
 from repro.core.result import PPRResult
 from repro.core.validation import check_source
-from repro.errors import ParameterError
+from repro.errors import DeadlineExceeded, ParameterError
 from repro.serving.cache import resolve_request
 
 __all__ = ["QueryScheduler", "SchedulerStats", "ServedResult"]
@@ -78,6 +78,15 @@ class ServedResult:
         Shard id of the worker process that served the answer under a
         :class:`~repro.serving.sharded.ShardedDispatcher`; ``None``
         when served in-process (thread mode).
+    deadline:
+        The ``time.monotonic()`` deadline the request carried, or
+        ``None`` for best-effort requests.  Carried through so callers
+        (and the async front door) can see the remaining budget an
+        answer was produced under.
+    degraded:
+        Whether admission control served this answer from the degraded
+        tier (a cheaper registered solver or a version-valid cached
+        lower-precision answer) instead of the requested fidelity.
     """
 
     result: PPRResult
@@ -85,6 +94,8 @@ class ServedResult:
     cache_hit: bool
     batch_size: int
     worker: int | None = None
+    deadline: float | None = None
+    degraded: bool = False
 
 
 @dataclass
@@ -104,6 +115,9 @@ class SchedulerStats:
     engine_calls: int = 0
     engine_sources: int = 0
     failures: int = 0
+    #: requests whose deadline passed while queued — failed fast with
+    #: :class:`~repro.errors.DeadlineExceeded`, never given a batch slot
+    expired: int = 0
     max_group: int = 0
 
     @property
@@ -120,6 +134,7 @@ class SchedulerStats:
             "engine_calls": self.engine_calls,
             "engine_sources": self.engine_sources,
             "failures": self.failures,
+            "expired": self.expired,
             "max_group": self.max_group,
             "batching_factor": self.batching_factor,
         }
@@ -133,6 +148,7 @@ class _Pending:
     group_key: Any  # hashable grouping token
     cache_key: tuple | None
     fresh: bool
+    deadline: float | None = None  # time.monotonic() expiry, if any
     future: Future = field(default_factory=Future)
 
 
@@ -205,6 +221,7 @@ class QueryScheduler:
         params: Mapping[str, Any] | None = None,
         *,
         fresh: bool = False,
+        deadline: float | None = None,
         cache_key: tuple | None = None,
         _resolved: tuple[str, dict[str, Any]] | None = None,
     ) -> Future:
@@ -214,12 +231,21 @@ class QueryScheduler:
         id synchronously, so typos raise here instead of poisoning a
         worker batch.  ``fresh=True`` exempts the request from
         same-request coalescing (and, under the server, from the result
-        cache).  ``_resolved=(canonical, merged)`` is the server's fast
-        path: it already resolved the request once via
-        :func:`~repro.serving.cache.resolve_request` (together with
-        ``cache_key``), so resolution and validation are not repeated.
+        cache).  ``deadline`` is a ``time.monotonic()`` timestamp: a
+        request already expired raises
+        :class:`~repro.errors.DeadlineExceeded` here, and one that
+        expires while queued is failed at dispatch time instead of
+        occupying a batch slot.  ``_resolved=(canonical, merged)`` is
+        the server's fast path: it already resolved the request once
+        via :func:`~repro.serving.cache.resolve_request` (together
+        with ``cache_key``), so resolution and validation are not
+        repeated.
         """
         source = int(source)
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded(
+                f"deadline passed before submit of source {source}"
+            )
         if _resolved is not None:
             canonical, merged = _resolved
         else:
@@ -239,6 +265,7 @@ class QueryScheduler:
             group_key=group_key,
             cache_key=cache_key,
             fresh=fresh,
+            deadline=deadline,
         )
         with self._cond:
             if self._closed:
@@ -267,6 +294,13 @@ class QueryScheduler:
             future.set_result(served)
 
     @staticmethod
+    def _stamp(served: ServedResult, pending: _Pending) -> ServedResult:
+        """Carry the request's deadline onto its (possibly shared) answer."""
+        if pending.deadline is None:
+            return served
+        return replace(served, deadline=pending.deadline)
+
+    @staticmethod
     def _fail(future: Future, exc: BaseException) -> None:
         """Deliver an exception; tolerate cancelled/already-settled."""
         try:
@@ -282,17 +316,33 @@ class QueryScheduler:
                     self._cond.wait()
                 if self._closed and not self._queue:
                     return
-            if self._window > 0.0:
                 # Let the micro-batch fill; latency cost is bounded by
                 # the window, throughput win is the coalescing below.
-                # Skip the wait when the queue already holds a full
-                # dispatch round — waiting could add no more company,
-                # only cap backlogged throughput at max_batch/window.
-                with self._cond:
-                    backlogged = len(self._queue) >= self._max_batch
-                if not backlogged:
-                    time.sleep(self._window)
-            with self._cond:
+                # The wait is a Condition.wait with a deadline, not a
+                # sleep: it wakes immediately when close() is called or
+                # when the queue fills to a whole dispatch round (more
+                # waiting could add no company, only cap backlogged
+                # throughput at max_batch/window), and it never
+                # outlives the earliest per-request deadline in the
+                # queue — an expiring request is dispatched (and failed
+                # fast) at its deadline, not a full window later.
+                if self._window > 0.0:
+                    round_start = time.monotonic()
+                    while (
+                        not self._closed
+                        and len(self._queue) < self._max_batch
+                    ):
+                        # Re-read the window each pass: set_window()
+                        # notifies, and a shrunken window applies to
+                        # the round already in flight.
+                        wake = round_start + self._window
+                        for pending in self._queue:
+                            if pending.deadline is not None:
+                                wake = min(wake, pending.deadline)
+                        remaining = wake - time.monotonic()
+                        if remaining <= 0.0:
+                            break
+                        self._cond.wait(remaining)
                 batch = self._queue[: self._max_batch]
                 del self._queue[: len(batch)]
             if batch:
@@ -328,10 +378,34 @@ class QueryScheduler:
             answered += len(batch)
 
     def _dispatch(self, batch: list[_Pending]) -> None:
+        # Expired requests fail fast with a typed error instead of
+        # occupying a batch slot: they cannot be answered in time, so
+        # solving them would only delay every live groupmate.
+        now = time.monotonic()
+        live: list[_Pending] = []
+        expired: list[_Pending] = []
+        for pending in batch:
+            if pending.deadline is not None and now >= pending.deadline:
+                expired.append(pending)
+            else:
+                live.append(pending)
+        if expired:
+            with self._cond:
+                self.stats.expired += len(expired)
+            for pending in expired:
+                self._fail(
+                    pending.future,
+                    DeadlineExceeded(
+                        f"deadline passed while queued "
+                        f"(source {pending.source})"
+                    ),
+                )
+        if not live:
+            return
         with self._cond:
             self.stats.batches += 1
         groups: dict[Any, list[_Pending]] = {}
-        for pending in batch:
+        for pending in live:
             groups.setdefault(pending.group_key, []).append(pending)
         for group in groups.values():  # dict preserves insertion order
             self._dispatch_group(group)
@@ -381,7 +455,7 @@ class QueryScheduler:
                 batch_size=1 if hit else solved,
             )
             for pending in slot:
-                self._resolve(pending.future, served)
+                self._resolve(pending.future, self._stamp(served, pending))
 
     def _retry_individually(self, slots: list[list[_Pending]]) -> None:
         """Batch failed: answer each slot alone so one bad request
@@ -416,7 +490,29 @@ class QueryScheduler:
                 batch_size=1 if hit else len(slot),
             )
             for pending in slot:
-                self._resolve(pending.future, served)
+                self._resolve(pending.future, self._stamp(served, pending))
+
+    # -- adaptive window -------------------------------------------------
+    @property
+    def window(self) -> float:
+        """Current micro-batch window in seconds."""
+        with self._cond:
+            return self._window
+
+    def set_window(self, window: float) -> None:
+        """Resize the micro-batch window (thread-safe, immediate: a
+        worker mid-wait re-reads the window when notified, so a shrink
+        applies to the round already in flight).
+
+        The async front door calls this with a window derived from the
+        observed arrival rate (EWMA), so the batch fill adapts to load
+        instead of charging a fixed latency tax at low traffic.
+        """
+        if window < 0:
+            raise ParameterError(f"window must be >= 0, got {window}")
+        with self._cond:
+            self._window = float(window)
+            self._cond.notify_all()
 
     # -- lifecycle -------------------------------------------------------
     def close(self) -> None:

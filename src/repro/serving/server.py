@@ -36,12 +36,13 @@ how many requests its dispatch coalesced.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.api.engine import PPREngine
 from repro.core.result import PPRResult
-from repro.errors import ParameterError
+from repro.errors import DeadlineExceeded, ParameterError
 from repro.graph.digraph import DiGraph
 from repro.graph.dynamic import DynamicGraph
 from repro.serving.cache import ResultCache, resolve_request
@@ -142,6 +143,7 @@ class EngineServer:
         method: str = "powerpush",
         *,
         fresh: bool = False,
+        deadline: float | None = None,
         **params: Any,
     ) -> Future:
         """Enqueue one query; returns a future of :class:`ServedResult`.
@@ -153,12 +155,20 @@ class EngineServer:
         ``fresh=True`` bypasses cache and coalescing for this request —
         use it to draw independent samples from unseeded stochastic
         methods, whose answers are otherwise memoised by request
-        signature.
+        signature.  ``deadline`` is a ``time.monotonic()`` timestamp:
+        an already-expired request raises
+        :class:`~repro.errors.DeadlineExceeded` here, and one that
+        expires in the micro-batch queue is failed fast at dispatch
+        instead of occupying a batch slot.
         """
         if self._scheduler.closed:
             # Checked up front so a cache hit cannot mask use-after-
             # close (misses would raise from the scheduler anyway).
             raise RuntimeError("server is closed")
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded(
+                f"deadline passed before submit of source {source}"
+            )
         canonical, merged, key = resolve_request(
             source,
             method,
@@ -191,6 +201,7 @@ class EngineServer:
                             version=version,
                             cache_hit=True,
                             batch_size=1,
+                            deadline=deadline,
                         )
                     )
                     return future
@@ -198,6 +209,7 @@ class EngineServer:
             source,
             canonical,
             fresh=fresh,
+            deadline=deadline,
             cache_key=key,
             _resolved=(canonical, merged),
         )

@@ -54,7 +54,11 @@ from types import FrameType
 from typing import Any, Iterable, Mapping
 
 from repro.api.engine import PPREngine
-from repro.errors import NodeNotFoundError, ParameterError
+from repro.errors import (
+    DeadlineExceeded,
+    NodeNotFoundError,
+    ParameterError,
+)
 from repro.graph.digraph import DiGraph
 from repro.graph.dynamic import DynamicGraph
 from repro.serving.cache import resolve_request
@@ -108,9 +112,11 @@ def _worker_main(
     Runs in a child process (module-level so the spawn start method can
     pickle it).  Messages in, messages out:
 
-    * ``("query", req_id, source, method, params, fresh)`` ->
+    * ``("query", req_id, source, method, params, fresh, deadline)`` ->
       ``("result", req_id, ServedResult)`` or
-      ``("error", req_id, exc)``
+      ``("error", req_id, exc)`` — ``deadline`` is a
+      ``time.monotonic()`` timestamp, meaningful across the process
+      boundary because ``CLOCK_MONOTONIC`` is system-wide
     * ``("update", barrier_id, updates)`` ->
       ``("updated", barrier_id, version)`` or
       ``("update-error", barrier_id, exc)``
@@ -179,10 +185,14 @@ def _serve_messages(
         for message in burst:
             kind = message[0]
             if kind == "query":
-                _, req_id, source, method, params, fresh = message
+                _, req_id, source, method, params, fresh, deadline = message
                 try:
                     future = server.submit(
-                        source, method, fresh=fresh, **params
+                        source,
+                        method,
+                        fresh=fresh,
+                        deadline=deadline,
+                        **params,
                     )
                 except Exception as exc:  # noqa: BLE001 - forwarded
                     responses.put(("error", req_id, exc))
@@ -288,6 +298,7 @@ class _PendingRequest:
     method: str
     params: dict[str, Any]
     fresh: bool
+    deadline: float | None = None
 
 
 @dataclass
@@ -507,6 +518,7 @@ class ShardedDispatcher:
         method: str = "powerpush",
         *,
         fresh: bool = False,
+        deadline: float | None = None,
         **params: Any,
     ) -> Future:
         """Enqueue one query on its shard; future of :class:`ServedResult`.
@@ -515,9 +527,15 @@ class ShardedDispatcher:
         at the call site, not inside a worker.  Parameters must be
         picklable scalars — live objects (``rng``, trace sinks,
         pre-built indexes) cannot cross the process boundary and are
-        rejected up front.
+        rejected up front.  ``deadline`` (a ``time.monotonic()``
+        timestamp) rides along to the shard, whose local scheduler
+        fails expired requests fast instead of solving them.
         """
         source = int(source)
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded(
+                f"deadline passed before submit of source {source}"
+            )
         canonical, merged, key = resolve_request(source, method, params)
         if key is None and params:
             raise ParameterError(
@@ -545,13 +563,22 @@ class ShardedDispatcher:
                     method=canonical,
                     params=dict(params),
                     fresh=fresh,
+                    deadline=deadline,
                 )
                 state.pending[req_id] = pending
             # Enqueued under the read lock: a writer that acquires
             # after us sees this request ahead of its barrier message
             # in the worker's FIFO, so it is answered pre-update.
             state.requests.put(
-                ("query", req_id, source, canonical, dict(params), fresh)
+                (
+                    "query",
+                    req_id,
+                    source,
+                    canonical,
+                    dict(params),
+                    fresh,
+                    deadline,
+                )
             )
         return pending.future
 
@@ -768,6 +795,7 @@ class ShardedDispatcher:
                 request.method,
                 dict(request.params),
                 request.fresh,
+                request.deadline,
             )
         )
 
@@ -805,10 +833,18 @@ class ShardedDispatcher:
             for state, req_id in probes:
                 state.requests.put(("stats", req_id))
         per_worker: dict[str, dict[str, Any]] = {}
+        # One shared monotonic deadline across all workers (mirroring
+        # the shutdown join loop in close()): the probes were broadcast
+        # concurrently, so the waits must share one budget — giving
+        # each worker the full timeout in sequence would stretch the
+        # worst case to N x timeout when shards hang.
+        deadline = time.monotonic() + timeout
         for worker_id, future in futures.items():
             try:
-                per_worker[str(worker_id)] = future.result(timeout=timeout)
-            except Exception:  # repro: allow[lock-discipline] -- a shard that died mid-stats simply drops out of the aggregate; its failure is already counted in worker_failures
+                per_worker[str(worker_id)] = future.result(
+                    timeout=max(0.0, deadline - time.monotonic())
+                )
+            except Exception:  # repro: allow[lock-discipline] -- a shard that died or timed out mid-stats simply drops out of the aggregate; its failure is already counted in worker_failures
                 continue
         cache_totals = {
             "hits": 0.0,
@@ -827,6 +863,7 @@ class ShardedDispatcher:
             "engine_calls": 0.0,
             "engine_sources": 0.0,
             "failures": 0.0,
+            "expired": 0.0,
             "max_group": 0.0,
         }
         for stats in per_worker.values():

@@ -858,6 +858,106 @@ class TestMutableDefault:
 
 
 # ---------------------------------------------------------------------------
+# async-discipline
+# ---------------------------------------------------------------------------
+
+class TestAsyncDiscipline:
+    def test_flags_blocking_sleep_and_untimed_waits(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/door.py": """\
+                import time
+
+                async def submit(future, cond):
+                    time.sleep(0.1)
+                    future.result()
+                    cond.wait()
+                    return None
+                """
+            },
+            select=["async-discipline"],
+        )
+        assert rules_of(findings) == ["async-discipline"] * 3
+        assert [f.line for f in findings] == [4, 5, 6]
+
+    def test_clean_asyncio_idioms_and_timed_calls(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/door.py": """\
+                import asyncio
+
+                async def submit(loop, future, cond):
+                    await asyncio.sleep(0.1)
+                    await asyncio.wrap_future(future)
+                    cond.wait(0.5)
+                    future.result(timeout=1.0)
+                    return await loop.run_in_executor(None, cond.wait)
+                """
+            },
+            select=["async-discipline"],
+        )
+        assert findings == []
+
+    def test_nested_sync_def_is_its_own_context(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/door.py": """\
+                import time
+
+                async def submit(loop):
+                    def blocking_probe():
+                        time.sleep(0.1)
+                        return 1
+
+                    return await loop.run_in_executor(None, blocking_probe)
+                """
+            },
+            select=["async-discipline"],
+        )
+        assert findings == []
+
+    def test_sync_def_and_other_packages_out_of_scope(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/door.py": """\
+                import time
+
+                def drain(future):
+                    time.sleep(0.1)
+                    return future.result()
+                """,
+                "repro/core/pacing.py": """\
+                import time
+
+                async def tick():
+                    time.sleep(0.1)
+                """,
+            },
+            select=["async-discipline"],
+        )
+        assert findings == []
+
+    def test_suppression_with_reason(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/door.py": """\
+                import time
+
+                async def submit():
+                    time.sleep(0.1)  # repro: allow[async-discipline] -- test fixture pacing
+                """
+            },
+            select=["async-discipline"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # suppression hygiene
 # ---------------------------------------------------------------------------
 

@@ -6,6 +6,8 @@ presented with the current graph version never returns a result stored
 at a different version.
 """
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -129,6 +131,95 @@ class TestResultCacheBasics:
             ResultCache(0)
         with pytest.raises(ParameterError):
             ResultCache(4, ttl=0.0)
+
+
+class TestTTLVersionRaces:
+    """TTL expiry racing version invalidation (satellite: the two drop
+    paths share one mutex and one entry map; no interleaving of
+    concurrent get/put/invalidate/clock-advance may serve an entry
+    that is stale *or* expired, and no drop is double-counted)."""
+
+    def test_simultaneously_stale_and_expired_drops_exactly_once(self):
+        clock = FakeClock()
+        cache = ResultCache(8, ttl=5.0, clock=clock)
+        key = make_cache_key(0, "powerpush", {})
+        cache.put(key, result_for(0, 0), 0)
+        clock.now = 50.0  # long expired...
+        assert cache.get(key, 1) is None  # ...and version-stale
+        assert cache.stats.stale_drops + cache.stats.expirations == 1
+        assert len(cache) == 0
+
+    def test_reput_after_expiry_serves_fresh_entry(self):
+        clock = FakeClock()
+        cache = ResultCache(8, ttl=5.0, clock=clock)
+        key = make_cache_key(0, "powerpush", {})
+        cache.put(key, result_for(0, 0), 0)
+        clock.now = 6.0
+        assert cache.get(key, 0) is None  # expired
+        cache.put(key, result_for(0, 0), 0)  # re-filled at the new time
+        assert cache.get(key, 0) is not None
+        assert cache.stats.expirations == 1
+
+    def test_concurrent_get_put_with_racing_expiry_and_invalidation(self):
+        clock = FakeClock()
+        cache = ResultCache(16, ttl=4.0, clock=clock)
+        keys = [make_cache_key(s, "powerpush", {}) for s in range(6)]
+        version = [0]
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def putter() -> None:
+            try:
+                while not stop.is_set():
+                    v = version[0]
+                    for s, key in enumerate(keys):
+                        cache.put(key, result_for(s, v), v)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def getter() -> None:
+            try:
+                while not stop.is_set():
+                    v = version[0]
+                    for key in keys:
+                        hit = cache.get(key, v)
+                        # The one invariant every interleaving must
+                        # keep: a hit is stamped exactly the version
+                        # the lookup asked for.
+                        if hit is not None and hit.estimate[0] != v:
+                            raise AssertionError(
+                                f"version {hit.estimate[0]} served "
+                                f"for version {v}"
+                            )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def churner() -> None:
+            # The writer path (bump + invalidate) racing the clock:
+            # entries die by staleness and by TTL in the same window.
+            try:
+                while not stop.is_set():
+                    version[0] += 1
+                    cache.invalidate(version[0])
+                    clock.now += 1.0
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=target)
+            for target in (putter, putter, getter, getter, churner)
+        ]
+        for thread in threads:
+            thread.start()
+        stop_timer = threading.Timer(0.3, stop.set)
+        stop_timer.start()
+        for thread in threads:
+            thread.join()
+        stop_timer.cancel()
+        assert not errors, errors[0]
+        assert len(cache) <= 16
+        # Both drop paths were actually exercised by the race.
+        assert cache.stats.stale_drops + cache.stats.expirations > 0
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,286 @@
+"""Tests for the async SLO-aware front door (:mod:`repro.serving.frontdoor`).
+
+Contracts under test: answers through the front door are byte-identical
+to the sync path (degraded answers to the sync answer of the *degraded*
+request); deadlines fail fast with a typed error at every stage;
+admission control sheds at the in-flight bound and degrades when the
+p99 prediction blows the SLO (with periodic full-fidelity probes); the
+micro-batch window adapts to the arrival rate.
+"""
+
+import asyncio
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.api import PPREngine
+from repro.core.result import PPRResult
+from repro.errors import (
+    DeadlineExceeded,
+    ParameterError,
+    ServerOverloadedError,
+)
+from repro.graph.build import paper_example_graph
+from repro.graph.dynamic import DynamicGraph
+from repro.serving import AsyncFrontDoor, EngineServer
+from repro.serving.scheduler import ServedResult
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def server():
+    with EngineServer(paper_example_graph(), seed=3, window=0.001) as srv:
+        yield srv
+
+
+class SlowBackend:
+    """A backend whose every answer takes ``delay`` seconds."""
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+        self.graph_version = 0
+
+    def submit(
+        self, source, method="powerpush", *, fresh=False, deadline=None,
+        **params,
+    ) -> Future:
+        future: Future = Future()
+        dummy = PPRResult(
+            estimate=np.zeros(4),
+            residue=None,
+            source=int(source),
+            alpha=0.2,
+            method="dummy",
+        )
+
+        def fire() -> None:
+            if future.set_running_or_notify_cancel():
+                future.set_result(
+                    ServedResult(
+                        result=dummy, version=0, cache_hit=False,
+                        batch_size=1, deadline=deadline,
+                    )
+                )
+
+        threading.Timer(self.delay, fire).start()
+        return future
+
+    def stats(self):
+        return {}
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self, server):
+        with pytest.raises(ParameterError):
+            AsyncFrontDoor(server, slo_ms=0.0)
+        with pytest.raises(ParameterError):
+            AsyncFrontDoor(server, deadline_ms=-1.0)
+        with pytest.raises(ParameterError):
+            AsyncFrontDoor(server, max_inflight=0)
+        with pytest.raises(ParameterError):
+            AsyncFrontDoor(server, ewma_alpha=0.0)
+        with pytest.raises(ParameterError):
+            AsyncFrontDoor(server, window_min=0.5, window_max=0.1)
+        with pytest.raises(ParameterError):
+            AsyncFrontDoor(server, target_batch=0)
+
+
+class TestByteIdentity:
+    def test_answers_match_sync_path(self, server):
+        door = AsyncFrontDoor(server)
+
+        async def drive():
+            return await asyncio.gather(
+                *[
+                    door.submit(s, "powerpush", l1_threshold=1e-8)
+                    for s in range(5)
+                ]
+            )
+
+        answers = run(drive())
+        reference = PPREngine(paper_example_graph(), seed=3)
+        for source, served in enumerate(answers):
+            expected = reference.query(
+                source, "powerpush", l1_threshold=1e-8
+            )
+            np.testing.assert_array_equal(
+                served.result.estimate, expected.estimate
+            )
+            assert served.degraded is False
+
+    def test_query_is_an_alias_of_submit(self, server):
+        door = AsyncFrontDoor(server)
+        a = run(door.query(0, "powerpush", l1_threshold=1e-8))
+        b = run(door.submit(0, "powerpush", l1_threshold=1e-8))
+        np.testing.assert_array_equal(
+            a.result.estimate, b.result.estimate
+        )
+
+
+class TestDeadlines:
+    def test_spent_budget_rejected_before_admission(self, server):
+        door = AsyncFrontDoor(server, deadline_ms=1e-7)
+
+        async def drive():
+            await asyncio.sleep(0.01)
+            with pytest.raises(DeadlineExceeded):
+                # The per-call budget overrides the default; this one
+                # cannot even cover the submit itself.
+                await door.submit(0, deadline_ms=1e-7)
+
+        run(drive())
+        assert door.stats.deadline_rejected == 1
+        assert door.stats.completed == 0
+
+    def test_deadline_expiring_during_await_raises(self):
+        door = AsyncFrontDoor(SlowBackend(0.5))
+        began = time.monotonic()
+        with pytest.raises(DeadlineExceeded):
+            run(door.submit(0, deadline_ms=50.0))
+        assert time.monotonic() - began < 0.45  # failed at ~50ms, not 500
+        assert door.stats.deadline_expired == 1
+        assert door.inflight == 0
+
+    def test_deadline_carried_on_the_answer(self, server):
+        door = AsyncFrontDoor(server, deadline_ms=60_000.0)
+        served = run(door.submit(0, "powerpush", l1_threshold=1e-8))
+        assert served.deadline is not None
+
+
+class TestShedding:
+    def test_inflight_bound_sheds(self):
+        door = AsyncFrontDoor(SlowBackend(0.3), max_inflight=1)
+
+        async def drive():
+            first = asyncio.ensure_future(door.submit(0))
+            await asyncio.sleep(0.05)  # let the first occupy the slot
+            with pytest.raises(ServerOverloadedError):
+                await door.submit(1)
+            return await first
+
+        served = run(drive())
+        assert served.result.source == 0
+        assert door.stats.shed == 1
+        assert door.stats.completed == 1
+
+
+def _overloaded_door(server, **kwargs):
+    """A door whose p99 predictor is live and guaranteed over the SLO:
+    16 full-fidelity completions warm the estimator, and the SLO is
+    set below any real solve latency."""
+    door = AsyncFrontDoor(
+        server,
+        slo_ms=1e-3,
+        degrade_params={"l1_threshold": 1e-3},
+        **kwargs,
+    )
+
+    async def warm():
+        # fresh=True keeps every warm-up a genuine solve (no result
+        # cache, no coalescing), so each feeds the latency window.
+        for s in range(16):
+            await door.submit(s % 5, "powerpush",
+                              fresh=True, l1_threshold=1e-7)
+
+    run(warm())
+    assert door.stats.degraded == 0  # predictor silent during warm-up
+    return door
+
+
+class TestDegradation:
+    def test_overload_degrades_to_cheaper_params(self, server):
+        door = _overloaded_door(server)
+        served = run(door.submit(3, "powerpush", l1_threshold=1e-8))
+        assert served.degraded is True
+        # Byte-identical to the sync path for the degraded request.
+        reference = PPREngine(paper_example_graph(), seed=3)
+        expected = reference.query(3, "powerpush", l1_threshold=1e-3)
+        np.testing.assert_array_equal(
+            served.result.estimate, expected.estimate
+        )
+
+    def test_degraded_cache_serves_version_valid_repeats(self, server):
+        door = _overloaded_door(server)
+        first = run(door.submit(3, "powerpush", l1_threshold=1e-8))
+        again = run(door.submit(3, "powerpush", l1_threshold=1e-8))
+        assert door.stats.degraded_cache_hits == 1
+        np.testing.assert_array_equal(
+            first.result.estimate, again.result.estimate
+        )
+
+    def test_update_invalidates_degraded_cache(self):
+        with EngineServer(
+            DynamicGraph(paper_example_graph()), seed=3, window=0.001
+        ) as server:
+            self._check_update_invalidation(server)
+
+    @staticmethod
+    def _check_update_invalidation(server):
+        door = _overloaded_door(server)
+        first = run(door.submit(3, "powerpush", l1_threshold=1e-8))
+
+        async def bump_and_resubmit():
+            version = await door.apply_updates([("+", 0, 4)])
+            served = await door.submit(3, "powerpush", l1_threshold=1e-8)
+            return version, served
+
+        version, served = run(bump_and_resubmit())
+        # Recomputed at the new version, not served from the old one.
+        assert served.version == version > first.version
+        assert door.stats.degraded_cache_hits == 0
+
+    def test_periodic_probe_keeps_the_predictor_live(self, server):
+        door = _overloaded_door(server)
+
+        async def flood():
+            for s in range(16):
+                await door.submit(s % 5, "powerpush", l1_threshold=1e-8)
+
+        run(flood())
+        # Every ~16th overloaded request runs full fidelity so the
+        # estimator can observe recovery.
+        assert door.stats.probes >= 1
+        assert door.stats.degraded >= 10
+
+    def test_no_degraded_tier_sheds_instead(self, server):
+        door = AsyncFrontDoor(server, slo_ms=1e-3)
+
+        async def warm_then_overflow():
+            for s in range(16):
+                await door.submit(s % 5, "powerpush",
+                                  fresh=True, l1_threshold=1e-7)
+            with pytest.raises(ServerOverloadedError):
+                await door.submit(0, "powerpush", l1_threshold=1e-8)
+
+        run(warm_then_overflow())
+        assert door.stats.shed == 1
+
+
+class TestAdaptiveWindow:
+    def test_window_tracks_arrival_rate(self, server):
+        door = AsyncFrontDoor(
+            server, window_min=0.0001, window_max=0.05, target_batch=8
+        )
+
+        async def drive():
+            for s in range(24):
+                await door.submit(s % 5, "powerpush", l1_threshold=1e-8)
+
+        run(drive())
+        assert door.stats.window_updates >= 1
+        assert 0.0001 <= server.scheduler.window <= 0.05
+
+    def test_snapshot_reports_counters_and_window(self, server):
+        door = AsyncFrontDoor(server)
+        run(door.submit(0, "powerpush", l1_threshold=1e-8))
+        snap = door.snapshot()
+        assert snap["completed"] == 1
+        assert snap["inflight"] == 0
+        assert snap["window"] == server.scheduler.window
+        assert door.server_stats()["requests"] >= 1

@@ -7,6 +7,7 @@ requests genuinely share engine calls.
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -15,7 +16,7 @@ from hypothesis import strategies as st
 
 from repro.api import PPREngine
 from repro.api.engine import per_source_rng
-from repro.errors import ParameterError, UnknownMethodError
+from repro.errors import DeadlineExceeded, ParameterError, UnknownMethodError
 from repro.graph.build import paper_example_graph
 from repro.serving.scheduler import QueryScheduler
 
@@ -233,6 +234,104 @@ class TestThreadedWorker:
         scheduler.close()  # must not abandon queued requests
         for future in futures:
             assert future.result(0).result.method == "PowerPush"
+
+
+class TestWindowWakeups:
+    """The window wait is interruptible — close, a full backlog, or a
+    queued deadline all wake it (regression: it used to be a fixed
+    ``time.sleep`` that served every wakeup a full window late)."""
+
+    def test_close_interrupts_a_long_window(self, engine):
+        scheduler = QueryScheduler(engine, window=30.0)
+        future = scheduler.submit(0, "powerpush", {"l1_threshold": 1e-8})
+        began = time.monotonic()
+        scheduler.close()  # wakes the worker; drains before returning
+        assert future.result(0).result.method == "PowerPush"
+        assert time.monotonic() - began < 10.0
+
+    def test_full_backlog_dispatches_before_the_window(self, engine):
+        scheduler = QueryScheduler(engine, window=30.0, max_batch=2)
+        futures = [
+            scheduler.submit(s, "powerpush", {"l1_threshold": 1e-8})
+            for s in (0, 1)
+        ]
+        # A whole dispatch round is queued: waiting longer could add no
+        # company, so both answers arrive long before the 30s window.
+        for future in futures:
+            assert future.result(10.0).result.method == "PowerPush"
+        scheduler.close()
+
+    def test_queued_deadline_wakes_the_window(self, engine):
+        scheduler = QueryScheduler(engine, window=30.0)
+        deadline = time.monotonic() + 0.1
+        future = scheduler.submit(
+            0, "powerpush", {"l1_threshold": 1e-8}, deadline=deadline
+        )
+        with pytest.raises(DeadlineExceeded):
+            future.result(10.0)  # fails ~0.1s in, not a window later
+        assert scheduler.stats.expired == 1
+        scheduler.close()
+
+    def test_shrinking_the_window_applies_mid_wait(self, engine):
+        scheduler = QueryScheduler(engine, window=30.0)
+        future = scheduler.submit(0, "powerpush", {"l1_threshold": 1e-8})
+        scheduler.set_window(0.0)  # worker re-reads the window when woken
+        assert future.result(10.0).result.method == "PowerPush"
+        assert scheduler.window == 0.0
+        scheduler.close()
+
+
+class TestDeadlines:
+    def test_already_expired_submit_raises(self, manual):
+        with pytest.raises(DeadlineExceeded, match="before submit"):
+            manual.submit(
+                0,
+                "powerpush",
+                {"l1_threshold": 1e-8},
+                deadline=time.monotonic() - 1.0,
+            )
+        assert manual.stats.submitted == 0
+
+    def test_expired_in_queue_fails_fast_without_engine_call(
+        self, engine, manual
+    ):
+        deadline = time.monotonic() + 0.01
+        doomed = manual.submit(
+            0, "powerpush", {"l1_threshold": 1e-8}, deadline=deadline
+        )
+        live = manual.submit(1, "powerpush", {"l1_threshold": 1e-8})
+        time.sleep(0.02)
+        manual.run_pending()
+        with pytest.raises(DeadlineExceeded, match="while queued"):
+            doomed.result(0)
+        # The expired request never reached the engine or a batch slot;
+        # its live groupmate was answered normally.
+        assert live.result(0).result.method == "PowerPush"
+        assert engine.stats.queries == 1
+        assert manual.stats.expired == 1
+
+    def test_deadline_stamped_on_served_result(self, manual):
+        deadline = time.monotonic() + 60.0
+        stamped = manual.submit(
+            0, "powerpush", {"l1_threshold": 1e-8}, deadline=deadline
+        )
+        plain = manual.submit(0, "powerpush", {"l1_threshold": 1e-8})
+        manual.run_pending()
+        assert stamped.result(0).deadline == deadline
+        assert plain.result(0).deadline is None
+        # Stamping wraps the shared answer without copying it: both
+        # futures still resolve to one PPRResult object.
+        assert stamped.result(0).result is plain.result(0).result
+        assert manual.stats.engine_calls == 1
+
+    def test_set_window_validates(self, engine):
+        scheduler = QueryScheduler(engine, window=0.002, start=False)
+        assert scheduler.window == 0.002
+        scheduler.set_window(0.01)
+        assert scheduler.window == 0.01
+        with pytest.raises(ParameterError):
+            scheduler.set_window(-0.001)
+        scheduler.close()
 
 
 # ---------------------------------------------------------------------------

@@ -120,6 +120,32 @@ class TestRoutingAndStats:
         assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
         assert stats["worker_failures"] == 0
 
+    def test_stats_timeout_is_one_shared_deadline(self, base):
+        # Regression: with every shard unresponsive, stats() used to
+        # grant each worker the full timeout in sequence, stretching
+        # the worst case to workers x timeout.  The probes now share
+        # one monotonic deadline, so three stopped workers cost ~one
+        # timeout, not three.
+        with ShardedDispatcher(base, workers=3, alpha=0.2, seed=7) as disp:
+            disp.batch(list(range(9)), "powerpush", **PARAMS)  # all warm
+            pids = [state.process.pid for state in disp._states.values()]
+            try:
+                for pid in pids:
+                    os.kill(pid, signal.SIGSTOP)
+                began = time.monotonic()
+                stats = disp.stats(timeout=0.6)
+                elapsed = time.monotonic() - began
+            finally:
+                for pid in pids:
+                    os.kill(pid, signal.SIGCONT)
+            # Sequential per-worker budgets would need >= 1.8s here.
+            assert elapsed < 1.2, f"stats() took {elapsed:.2f}s"
+            # Stopped shards drop out of the aggregate rather than
+            # hanging it.
+            assert stats["per_worker"] == {}
+            # The shards resume cleanly once continued.
+            assert disp.query(0, "powerpush", **PARAMS) is not None
+
     def test_validation_happens_in_the_dispatcher(self, dispatcher, base):
         with pytest.raises(NodeNotFoundError):
             dispatcher.query(base.num_nodes + 5, "powerpush", **PARAMS)

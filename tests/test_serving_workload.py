@@ -239,6 +239,75 @@ class TestRunLoadtest:
         with pytest.raises(ParameterError, match="concurrency"):
             run_loadtest(make_static, workload, concurrency=0)
 
+    def test_slo_run_accounts_every_request(self):
+        """SLO-aware runs bucket every request exactly once (completed,
+        shed, deadline-expired, or failed) — `accounted == queries` is
+        the no-hung-futures invariant — and every answer actually
+        served stays byte-identical to the serial baseline."""
+        workload = WorkloadGenerator(
+            make_static().num_nodes,
+            num_sources=8,
+            arrival="open",
+            arrival_rate=4000.0,  # well past a tiny server's capacity
+            seed=12,
+        ).generate(60)
+        report = run_loadtest(
+            make_static,
+            workload,
+            method="powerpush",
+            params={"l1_threshold": 1e-7},
+            concurrency=1,
+            window=0.001,
+            seed=12,
+            slo_ms=50.0,
+            deadline_ms=150.0,
+            max_inflight=8,
+            degrade_params={"l1_threshold": 1e-3},
+        )
+        served = report.served
+        assert served.accounted == served.queries == 60
+        assert served.failed == 0
+        assert served.completed >= 1
+        assert served.within_slo <= served.completed
+        assert served.goodput_qps >= 0.0
+        assert 0.0 <= served.shed_rate <= 1.0
+        assert report.identical is True  # served answers, full + degraded
+        assert report.frontdoor  # snapshot travels on the report
+        assert report.frontdoor["submitted"] == 60
+        payload = report.to_dict()
+        assert payload["served"]["accounted"] == 60
+        assert payload["served"]["slo_ms"] == 50.0
+        assert "goodput" in report.render()
+
+    def test_slo_requires_open_loop(self):
+        workload = WorkloadGenerator(
+            make_static().num_nodes, seed=13
+        ).generate(10)
+        with pytest.raises(ParameterError, match="open-loop"):
+            run_loadtest(make_static, workload, slo_ms=50.0)
+
+    def test_slo_requires_read_only(self):
+        workload = WorkloadGenerator(
+            make_dynamic().num_nodes,
+            read_fraction=0.5,
+            arrival="open",
+            arrival_rate=500.0,
+            seed=14,
+        ).generate(30)
+        with pytest.raises(ParameterError, match="read-only"):
+            run_loadtest(make_dynamic, workload, slo_ms=50.0)
+
+    def test_degrade_params_require_slo(self):
+        workload = WorkloadGenerator(
+            make_static().num_nodes, seed=15
+        ).generate(10)
+        with pytest.raises(ParameterError, match="slo_ms"):
+            run_loadtest(
+                make_static,
+                workload,
+                degrade_params={"l1_threshold": 1e-3},
+            )
+
     def test_json_roundtrip(self, tmp_path):
         workload = WorkloadGenerator(
             make_static().num_nodes, num_sources=6, seed=10
