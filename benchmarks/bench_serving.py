@@ -27,25 +27,42 @@ it against the thread-based server.  Three gates then apply:
   workers >= 2 cores (a single-core container cannot demonstrate
   process parallelism; the ratio is still measured and reported).
 
+With ``--chaos`` the sharded run happens under a seeded fault
+schedule (worker kills, dropped/delayed replies — see
+:mod:`repro.serving.faults`): the supervisor must respawn every
+killed shard over the shared graph image, the retry machinery must
+recover every request, and the gates assert zero hung futures,
+byte-identical completed answers, full capacity restored, and bounded
+recovery time.  A separate probe crashes a shard mid-update-barrier
+and checks the barrier settles on the survivors.
+
 Also runnable as a script (CI exercises this on every push)::
 
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke --workers 2
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --chaos
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
+import time
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
 from repro.generators.rmat import rmat_digraph
-from repro.serving import WorkloadGenerator, run_loadtest
+from repro.serving import (
+    FaultInjector,
+    FaultSpec,
+    WorkloadGenerator,
+    run_loadtest,
+)
 from repro.serving.shm import SEGMENT_PREFIX
 
 #: The scheduler+cache must beat one-query-at-a-time by at least this.
@@ -98,6 +115,9 @@ def run_serving_bench(
     deadline_ms: float | None = None,
     max_inflight: int | None = None,
     degrade_l1: float | None = None,
+    chaos: FaultInjector | None = None,
+    max_restarts: int | None = None,
+    request_timeout: float | None = None,
 ):
     """One measured loadtest run; returns the LoadtestReport."""
 
@@ -135,6 +155,9 @@ def run_serving_bench(
             if degrade_l1 is not None
             else None
         ),
+        chaos=chaos,
+        max_restarts=max_restarts,
+        request_timeout=request_timeout,
     )
 
 
@@ -380,6 +403,218 @@ def _run_overload(args: argparse.Namespace, sizes) -> int:
     return 0
 
 
+def _chaos_barrier_probe(seed: int) -> dict[str, Any]:
+    """Crash a shard mid-``apply_updates`` and verify self-healing.
+
+    The read-only workload in the main chaos run never broadcasts
+    updates, so the ``crash_update`` fault gets a dedicated probe:
+    worker 0 is armed to die *after* applying the first update
+    broadcast but *before* acking it.  Checks (returned for gating):
+    the barrier settles on the survivor's version instead of hanging,
+    the respawn replays the update journal to that version, and
+    post-crash answers are byte-identical to a serial engine at the
+    same version.
+    """
+    from repro.api.engine import PPREngine
+    from repro.graph.dynamic import DynamicGraph
+    from repro.serving import ShardedDispatcher
+
+    base = rmat_digraph(
+        8, 1200, rng=np.random.default_rng(seed), name="chaos-barrier"
+    )
+    updates = []
+    for u in (1, 2):
+        v = next(
+            v
+            for v in range(base.num_nodes)
+            if v != u and not base.has_edge(u, v)
+        )
+        updates.append(("add", u, v))
+    injector = FaultInjector([FaultSpec("crash_update", worker=0, at=0)])
+    began = time.monotonic()
+    with ShardedDispatcher(
+        DynamicGraph(base),
+        workers=2,
+        alpha=0.2,
+        seed=seed,
+        fault_injector=injector,
+    ) as disp:
+        version = disp.apply_updates(updates)
+        barrier_settled = version == len(updates)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            supervisor = disp.stats(timeout=0.5)["supervisor"]
+            if supervisor["respawns"] >= 1 and disp.num_workers == 2:
+                break
+            time.sleep(0.05)
+        supervisor = disp.stats()["supervisor"]
+        respawned = supervisor["respawns"] >= 1 and disp.num_workers == 2
+        reference = PPREngine(DynamicGraph(base), alpha=0.2, seed=seed)
+        reference.apply_updates(updates)
+        identical = True
+        for source in range(0, base.num_nodes, 47):
+            served = disp.query(source, "powerpush", l1_threshold=1e-7)
+            expected = reference.query(
+                source, "powerpush", l1_threshold=1e-7
+            )
+            identical = identical and (
+                served.version == version
+                and served.result.estimate.tobytes()
+                == expected.estimate.tobytes()
+            )
+        recovery = dict(supervisor["recovery_s"])
+    return {
+        "barrier_settled": barrier_settled,
+        "version": version,
+        "respawned": respawned,
+        "identical": identical,
+        "recovery_s": recovery,
+        "elapsed_s": time.monotonic() - began,
+    }
+
+
+def _run_chaos(args: argparse.Namespace, sizes) -> int:
+    """``--chaos``: the sharded run under a seeded fault schedule.
+
+    A Zipfian closed-loop workload replays against ``--workers`` (or
+    2) shard processes while :class:`FaultInjector` kills workers and
+    drops/delays replies at seed-deterministic points.  Gates:
+
+    * every request is accounted and none failed (retry + respawn
+      recovered all of them — zero hung futures),
+    * completed answers stay byte-identical to the serial baseline,
+    * every killed worker is respawned (capacity fully restored: no
+      worker removed, no degraded-capacity flag) with bounded
+      recovery time,
+    * the mid-barrier crash probe settles and heals,
+    * zero leaked shared-memory segments.
+    """
+    scale, edges, requests, sources = sizes
+    workers = args.workers or 2
+    injector = FaultInjector.random_schedule(
+        workers=workers,
+        requests=requests,
+        kills=args.chaos_kills,
+        stops=args.chaos_stops,
+        drops=args.chaos_drops,
+        delays=args.chaos_delays,
+        seed=args.chaos_seed,
+    )
+    schedule = [dataclasses.asdict(spec) for spec in injector.schedule]
+    print(f"chaos schedule (seed {args.chaos_seed}): {schedule}")
+    report = run_serving_bench(
+        scale=scale,
+        edges=edges,
+        requests=requests,
+        sources=sources,
+        zipf=args.zipf,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        workers=workers,
+        chaos=injector,
+        max_restarts=args.max_restarts,
+        request_timeout=args.request_timeout,
+    )
+    print(report.render())
+    barrier = _chaos_barrier_probe(args.seed)
+    print(
+        f"barrier-crash probe: settled={barrier['barrier_settled']} "
+        f"respawned={barrier['respawned']} "
+        f"identical={barrier['identical']}"
+    )
+
+    served = report.served
+    supervisor = report.chaos.get("supervisor", {})
+    kills_fired = sum(
+        1 for spec in report.chaos.get("fired", []) if spec["kind"] == "kill"
+    )
+    recovery = supervisor.get("recovery_s", {}) or {}
+    leaks = leaked_segments()
+
+    payload = {
+        "workers": workers,
+        "chaos_seed": args.chaos_seed,
+        "max_restarts": args.max_restarts,
+        "request_timeout": args.request_timeout,
+        "schedule": schedule,
+        "report": report.to_dict(),
+        "barrier_probe": barrier,
+        "leaked_segments": leaks,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    # Merge alongside the baseline serving metrics rather than
+    # clobbering them: every serving run feeds one BENCH_serving.json.
+    existing: dict[str, Any] = {}
+    if out.exists():
+        existing = json.loads(out.read_text())
+    existing["chaos"] = payload
+    out.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"metrics written to {out}")
+    recovery_max = recovery.get("max")
+    print(
+        f"chaos: kills_fired={kills_fired} "
+        f"respawns={supervisor.get('respawns', 0)} "
+        f"retries={supervisor.get('retries', 0)} "
+        f"request_timeouts={supervisor.get('request_timeouts', 0)} "
+        f"recovery_max="
+        + (f"{recovery_max * 1e3:.0f}ms" if recovery_max else "n/a")
+        + f" accounted={served.accounted}/{served.queries}"
+    )
+
+    failed = False
+    if served.accounted != served.queries:
+        print(
+            f"FAIL: {served.queries - served.accounted} request(s) "
+            f"unaccounted — a future hung or vanished under chaos"
+        )
+        failed = True
+    if served.failed:
+        print(
+            f"FAIL: {served.failed} request(s) failed — retry + respawn "
+            f"did not recover them"
+        )
+        failed = True
+    if report.identical is not True:
+        print("FAIL: a completed answer diverged from the serial baseline")
+        failed = True
+    if kills_fired and supervisor.get("respawns", 0) < 1:
+        print("FAIL: a worker was killed but never respawned")
+        failed = True
+    if supervisor.get("removed"):
+        print(
+            f"FAIL: workers {supervisor['removed']} permanently removed "
+            f"— restart budget exhausted instead of recovering"
+        )
+        failed = True
+    if supervisor.get("degraded_capacity"):
+        print("FAIL: dispatcher finished with degraded capacity")
+        failed = True
+    if kills_fired and (recovery_max is None or recovery_max > 15.0):
+        print(
+            f"FAIL: recovery time {recovery_max} not recorded or "
+            f"unbounded (> 15s)"
+        )
+        failed = True
+    for key in ("barrier_settled", "respawned", "identical"):
+        if not barrier[key]:
+            print(f"FAIL: barrier-crash probe: {key} is False")
+            failed = True
+    if leaks:
+        print(f"FAIL: leaked shared-memory segments: {leaks}")
+        failed = True
+    if failed:
+        return 1
+    print(
+        f"OK: {served.queries} requests all accounted under "
+        f"{len(schedule)} scheduled faults; "
+        f"{supervisor.get('respawns', 0)} respawn(s), max recovery "
+        + (f"{recovery_max * 1e3:.0f}ms" if recovery_max else "n/a")
+        + "; byte-identical answers; barrier crash healed; zero leaks"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Script entry point; ``--smoke`` runs a seconds-scale CI check."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -422,6 +657,56 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-inflight", type=int, default=64)
     parser.add_argument("--degrade-l1", type=float, default=1e-4)
     parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the sharded workload under a seeded fault schedule "
+        "and gate full recovery (respawns, retries, byte-identity, "
+        "zero hung futures)",
+    )
+    parser.add_argument(
+        "--chaos-kills",
+        type=int,
+        default=1,
+        help="SIGKILLed workers in the schedule",
+    )
+    parser.add_argument(
+        "--chaos-stops",
+        type=int,
+        default=0,
+        help="SIGSTOP/SIGCONT pairs in the schedule",
+    )
+    parser.add_argument(
+        "--chaos-drops",
+        type=int,
+        default=1,
+        help="worker replies swallowed (request timeout must recover)",
+    )
+    parser.add_argument(
+        "--chaos-delays",
+        type=int,
+        default=1,
+        help="worker replies delayed in the schedule",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="fault-schedule seed (defaults to --seed); replays the "
+        "whole chaos run bit for bit",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help="per-worker respawn budget before permanent removal",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=2.0,
+        help="per-request hang detector driving bounded retries (s)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=DEFAULT_JSON,
@@ -436,6 +721,12 @@ def main(argv: list[str] | None = None) -> int:
             (args.scale, args.edges, args.requests, args.sources), defaults
         )
     )
+
+    if args.chaos_seed is None:
+        args.chaos_seed = args.seed
+
+    if args.chaos:
+        return _run_chaos(args, (scale, edges, requests, sources))
 
     if args.overload:
         return _run_overload(args, (scale, edges, requests, sources))

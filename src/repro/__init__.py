@@ -118,8 +118,12 @@ from repro.montecarlo import chernoff_walk_count, monte_carlo_ppr
 from repro.serving import (
     AsyncFrontDoor,
     EngineServer,
+    FaultInjector,
+    FaultSpec,
     QueryScheduler,
+    RestartPolicy,
     ResultCache,
+    RetryPolicy,
     ServedResult,
     ShardedDispatcher,
     SharedGraphImage,
@@ -148,8 +152,12 @@ __all__ = [
     # serving layer
     "AsyncFrontDoor",
     "EngineServer",
+    "FaultInjector",
+    "FaultSpec",
     "QueryScheduler",
+    "RestartPolicy",
     "ResultCache",
+    "RetryPolicy",
     "ServedResult",
     "ShardedDispatcher",
     "SharedGraphImage",

@@ -394,3 +394,140 @@ class ShmDisciplineRule(Rule):
             and cls._calls_unlink(item)
             for item in owner.body
         )
+
+
+@register_rule
+class RetryDisciplineRule(Rule):
+    id = "retry-discipline"
+    summary = (
+        "retry loops in repro.serving are bounded, backed off, and "
+        "deadline-aware; no bare while-True around cross-process sends"
+    )
+    invariant = (
+        "A retry that is not bounded by an attempt budget and the "
+        "request deadline turns one dead shard into an infinite "
+        "cross-process send loop (a hung future with a hot CPU "
+        "attached).  Every function on the retry path names its "
+        "attempt counter and the deadline it respects — or delegates "
+        "to one that does — and every while-True that ships messages "
+        "to another process has a reachable break/return/raise."
+    )
+
+    _SERVING_PACKAGE = "repro.serving"
+    #: Queue/pipe methods that cross a process boundary.
+    _SEND_ATTRS = frozenset({"put", "put_nowait", "send", "send_bytes"})
+    _RETRY_MARKERS = ("retry", "resubmit")
+
+    def check_file(self, file: SourceFile) -> Iterable[Finding]:
+        if not file.in_package(self._SERVING_PACKAGE):
+            return
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.While):
+                yield from self._check_loop(file, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_retry_function(file, node)
+
+    # -- while True around cross-process sends -------------------------
+    def _check_loop(
+        self, file: SourceFile, loop: ast.While
+    ) -> Iterable[Finding]:
+        if not (
+            isinstance(loop.test, ast.Constant) and loop.test.value is True
+        ):
+            return
+        # Sends count anywhere lexically inside the loop (a helper
+        # defined and called per-iteration still sends per-iteration);
+        # exits count only in the loop's own control flow.
+        sends = [
+            sub
+            for sub in ast.walk(loop)
+            if isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in self._SEND_ATTRS
+        ]
+        if not sends:
+            return
+        if any(
+            isinstance(sub, (ast.Break, ast.Return, ast.Raise))
+            for sub in self._walk_loop(loop)
+        ):
+            return
+        yield self.finding(
+            file,
+            sends[0],
+            "while True loop sends to another process with no "
+            "break/return/raise: an unreachable peer turns this into "
+            "an unbounded retry; bound it with an attempt budget or "
+            "an exit condition",
+        )
+
+    @staticmethod
+    def _walk_loop(loop: ast.While) -> Iterable[ast.AST]:
+        """Walk a loop body without descending into nested defs (their
+        control flow does not terminate this loop)."""
+
+        def visit(node: ast.AST) -> Iterable[ast.AST]:
+            for child in ast.iter_child_nodes(node):
+                yield child
+                if not isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+                ):
+                    yield from visit(child)
+
+        for stmt in loop.body:
+            yield stmt
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                yield from visit(stmt)
+
+    # -- retry/resubmit functions --------------------------------------
+    def _check_retry_function(
+        self, file: SourceFile, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterable[Finding]:
+        lowered = fn.name.lower()
+        if not any(marker in lowered for marker in self._RETRY_MARKERS):
+            return
+        names = {
+            part.lower()
+            for node in ast.walk(fn)
+            for part in self._identifier_parts(node)
+        }
+        deadline_aware = any("deadline" in name for name in names)
+        bounded = any("attempt" in name for name in names) or any(
+            "retry" in name
+            for node in ast.walk(fn)
+            if isinstance(node, ast.Call)
+            for name in [dotted_name(node.func) or ""]
+            if name.lower() != fn.name.lower()
+        )
+        if deadline_aware and bounded:
+            return
+        missing = []
+        if not bounded:
+            missing.append(
+                "an attempt budget (or delegation to a *retry* helper)"
+            )
+        if not deadline_aware:
+            missing.append("the request deadline")
+        yield self.finding(
+            file,
+            fn,
+            f"retry-path function {fn.name}() never references "
+            + " or ".join(missing)
+            + "; unbounded or deadline-blind retries hang futures "
+            "past the caller's budget",
+        )
+
+    @staticmethod
+    def _identifier_parts(node: ast.AST) -> Iterable[str]:
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+        elif isinstance(node, ast.arg):
+            yield node.arg
+        elif isinstance(node, ast.keyword) and node.arg:
+            yield node.arg

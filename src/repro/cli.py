@@ -257,6 +257,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="l1_threshold of the degraded tier the front door falls "
         "back to when predicted p99 blows --slo-ms",
     )
+    serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=None,
+        help="per-shard respawn budget after crashes (sharded mode; "
+        "0 disables supervision, default: dispatcher's policy)",
+    )
 
     loadtest = sub.add_parser(
         "loadtest",
@@ -330,6 +337,58 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1e-4,
         help="l1_threshold of the degraded tier under overload",
+    )
+    loadtest.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject a seeded fault schedule into the sharded run "
+        "(requires --workers >= 1); worker supervision and bounded "
+        "retries must recover every request",
+    )
+    loadtest.add_argument(
+        "--chaos-kills",
+        type=int,
+        default=1,
+        help="SIGKILLed workers in the chaos schedule",
+    )
+    loadtest.add_argument(
+        "--chaos-stops",
+        type=int,
+        default=0,
+        help="SIGSTOP/SIGCONT pairs in the chaos schedule",
+    )
+    loadtest.add_argument(
+        "--chaos-drops",
+        type=int,
+        default=0,
+        help="worker replies swallowed (needs --request-timeout to "
+        "recover)",
+    )
+    loadtest.add_argument(
+        "--chaos-delays",
+        type=int,
+        default=0,
+        help="worker replies delayed in the chaos schedule",
+    )
+    loadtest.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="fault-schedule seed (defaults to --seed)",
+    )
+    loadtest.add_argument(
+        "--max-restarts",
+        type=int,
+        default=None,
+        help="per-shard respawn budget after crashes (0 disables "
+        "supervision, default: dispatcher's policy)",
+    )
+    loadtest.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="per-request hang detector in seconds, driving "
+        "deadline-aware bounded retries",
     )
 
     from repro.analysis.runner import add_lint_arguments
@@ -511,6 +570,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             cache_capacity=args.cache_capacity,
             cache_ttl=args.cache_ttl,
+            max_restarts=args.max_restarts,
         )
         mode = f"{args.workers} shard processes, shared-memory graph"
     else:
@@ -695,6 +755,23 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         arrival_rate=args.rate,
         seed=args.seed,
     ).generate(args.requests)
+    chaos = None
+    if args.chaos:
+        from repro.serving import FaultInjector
+
+        chaos = FaultInjector.random_schedule(
+            workers=args.workers,
+            requests=args.requests,
+            kills=args.chaos_kills,
+            stops=args.chaos_stops,
+            drops=args.chaos_drops,
+            delays=args.chaos_delays,
+            seed=(
+                args.chaos_seed
+                if args.chaos_seed is not None
+                else args.seed
+            ),
+        )
     report = run_loadtest(
         make_graph,
         workload,
@@ -716,6 +793,9 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             and spec.accepts("l1_threshold")
             else None
         ),
+        chaos=chaos,
+        max_restarts=args.max_restarts,
+        request_timeout=args.request_timeout,
     )
     print(report.render())
     if args.out is not None:

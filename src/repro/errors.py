@@ -68,6 +68,18 @@ class ServerOverloadedError(ReproError):
     """
 
 
+class WorkerUnavailableError(ReproError):
+    """No shard could serve a request within its retry budget.
+
+    Raised by :class:`~repro.serving.sharded.ShardedDispatcher` when a
+    read has exhausted its deadline-aware retry budget — the routed
+    worker kept dying, timing out, or sitting behind an open circuit
+    breaker — or when every worker is gone and none will be respawned.
+    Retrying is safe (answers are pure functions of ``(seed, source)``)
+    but should go through fresh admission, not the failed future.
+    """
+
+
 class UnknownMethodError(ReproError, KeyError):
     """A method name does not resolve to any registered solver.
 
@@ -85,3 +97,11 @@ class UnknownMethodError(ReproError, KeyError):
 
     def __str__(self) -> str:  # KeyError quotes its arg; keep the message
         return self.args[0]
+
+    def __reduce__(self):  # type: ignore[override]
+        # Default exception pickling replays ``__init__(*args)`` with
+        # the formatted message as the only arg, which does not match
+        # this signature — and the sharded serving tier ships raised
+        # exceptions across process boundaries, where a reconstruction
+        # failure kills the dispatcher's collector thread.
+        return (UnknownMethodError, (self.name, self.valid))

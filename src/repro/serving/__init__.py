@@ -28,6 +28,12 @@ this package makes it a *service*:
   admission tier over either backend: per-request deadlines, SLO-aware
   shedding/degradation, and an arrival-rate-adaptive micro-batch
   window.
+* :mod:`~repro.serving.supervisor` /
+  :mod:`~repro.serving.faults` — the self-healing tier: restart
+  policies (jittered backoff + budget), per-shard circuit breakers,
+  deadline-aware read retries, and a seeded schedule-driven
+  :class:`~repro.serving.faults.FaultInjector` so chaos runs replay
+  exactly.
 """
 
 from repro.serving.cache import (
@@ -36,6 +42,7 @@ from repro.serving.cache import (
     make_cache_key,
     resolve_request,
 )
+from repro.serving.faults import FaultInjector, FaultSpec
 from repro.serving.frontdoor import AsyncFrontDoor, FrontDoorStats
 from repro.serving.loadtest import (
     LoadtestReport,
@@ -48,11 +55,17 @@ from repro.serving.scheduler import QueryScheduler, SchedulerStats, ServedResult
 from repro.serving.server import EngineServer
 from repro.serving.sharded import ShardedDispatcher, WorkerConfig
 from repro.serving.shm import SharedGraphHandle, SharedGraphImage
+from repro.serving.supervisor import CircuitBreaker, RestartPolicy, RetryPolicy
 from repro.serving.workload import Operation, Workload, WorkloadGenerator
 
 __all__ = [
     "AsyncFrontDoor",
     "FrontDoorStats",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultSpec",
+    "RestartPolicy",
+    "RetryPolicy",
     "EngineServer",
     "QueryScheduler",
     "SchedulerStats",

@@ -44,7 +44,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
 
@@ -57,6 +57,7 @@ from repro.errors import (
 )
 from repro.graph.digraph import DiGraph
 from repro.graph.dynamic import DynamicGraph, sample_edge_update
+from repro.serving.faults import WORKER_KINDS, FaultInjector, FaultSpec
 from repro.serving.frontdoor import AsyncFrontDoor
 from repro.serving.server import EngineServer
 from repro.serving.scheduler import ServedResult
@@ -175,6 +176,8 @@ class LoadtestReport:
     workers: int = 0
     #: front-door admission counters when the run was SLO-aware
     frontdoor: dict[str, Any] = field(default_factory=dict)
+    #: fault schedule + recovery accounting when the run was a chaos run
+    chaos: dict[str, Any] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -199,6 +202,8 @@ class LoadtestReport:
         }
         if self.frontdoor:
             doc["frontdoor"] = self.frontdoor
+        if self.chaos:
+            doc["chaos"] = self.chaos
         return doc
 
     def write_json(self, path: str | Path) -> Path:
@@ -241,6 +246,22 @@ class LoadtestReport:
                 f"degraded {self.served.degraded}   "
                 f"deadline {self.served.deadline_expired}   "
                 f"failed {self.served.failed}",
+            )
+        if self.chaos:
+            supervisor = self.chaos.get("supervisor", {})
+            recovery = supervisor.get("recovery_s", {}) or {}
+            recovery_max = recovery.get("max")
+            recovery_text = (
+                f"{recovery_max * 1e3:.0f} ms"
+                if recovery_max is not None
+                else "n/a"
+            )
+            lines.append(
+                f"  chaos  : injected {self.chaos.get('injected', 0)} "
+                f"faults   respawns {supervisor.get('respawns', 0)}   "
+                f"retries {supervisor.get('retries', 0)}   "
+                f"max recovery {recovery_text}   degraded capacity "
+                f"{supervisor.get('degraded_capacity', False)}"
             )
         return "\n".join(lines)
 
@@ -374,6 +395,36 @@ def _drive_frontdoor(
     return door
 
 
+def _await_recovery(
+    server: ShardedDispatcher,
+    chaos: FaultInjector,
+    timeout: float = 30.0,
+) -> None:
+    """Let in-flight respawns land before the stats snapshot.
+
+    A kill injected near the end of the drive can leave its respawn
+    (or even its death detection) still in flight when the workload
+    drains; the chaos gates compare respawn counts and live worker
+    count against the schedule, so the snapshot must wait for the
+    supervisor to finish what the schedule started.  Workers removed
+    permanently (restart budget exhausted) are counted as resolved,
+    never waited on.  Bounded: proceeds after ``timeout`` regardless
+    and lets the gates judge whatever state remains.
+    """
+    kills = sum(1 for spec in chaos.fired() if spec.kind == "kill")
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        supervisor = server.stats(timeout=0.5)["supervisor"]
+        resolved = supervisor["respawns"] + supervisor["permanent_failures"]
+        removed = len(supervisor["removed"])
+        if (
+            resolved >= kills
+            and server.num_workers + removed >= server.configured_workers
+        ):
+            return
+        time.sleep(0.05)
+
+
 def _run_served(
     make_graph: Callable[[], DiGraph | DynamicGraph],
     workload: Workload,
@@ -394,6 +445,9 @@ def _run_served(
     degrade_method: str | None = None,
     degrade_params: Mapping[str, Any] | None = None,
     max_inflight: int | None = None,
+    chaos: FaultInjector | None = None,
+    max_restarts: int | None = None,
+    request_timeout: float | None = None,
 ) -> tuple[
     LoadtestStats,
     dict[int, np.ndarray],
@@ -428,6 +482,9 @@ def _run_served(
             max_batch=max_batch,
             cache_capacity=cache_capacity,
             cache_ttl=cache_ttl,
+            max_restarts=max_restarts,
+            request_timeout=request_timeout,
+            fault_injector=chaos,
         )
     else:
         server = EngineServer(
@@ -575,9 +632,22 @@ def _run_served(
                         if op.kind == "update":
                             continue
                         begin = time.perf_counter()
-                        served = server.query(
-                            op.source, method, **dict(params)
-                        )
+                        try:
+                            served = server.query(
+                                op.source, method, **dict(params)
+                            )
+                        except BaseException as exc:  # noqa: BLE001
+                            if chaos is None:
+                                raise
+                            # Chaos runs account failures instead of
+                            # aborting the worker: the gate downstream
+                            # asserts failed == 0, so a lost request is
+                            # still a run failure — just a diagnosed
+                            # one, with every other fate known.
+                            with estimates_mutex:
+                                counts["failed"] += 1
+                            errors.append(exc)
+                            continue
                         latencies[op.index] = time.perf_counter() - begin
                         _answer(op, served)
                 except BaseException as exc:  # noqa: BLE001 - re-raised
@@ -592,6 +662,8 @@ def _run_served(
             for thread in threads:
                 thread.join()
         wall = time.perf_counter() - started
+        if chaos is not None and isinstance(server, ShardedDispatcher):
+            _await_recovery(server, chaos)
         stats = server.stats()
     if frontdoor_snapshot:
         stats = dict(stats)
@@ -599,7 +671,12 @@ def _run_served(
     if errors and not slo_aware:
         # Outside the SLO-aware drive there is no expected failure
         # mode: any exception is an infrastructure bug — surface it.
-        raise errors[0]
+        # A chaos run accounts per-query failures in the report
+        # instead (its gate asserts failed == 0 anyway), but errors
+        # beyond the accounted ones (an update barrier collapsing, a
+        # pacing thread dying) are still infrastructure bugs.
+        if chaos is None or len(errors) > counts["failed"]:
+            raise errors[0]
     completed_latencies = [lat for lat in latencies if lat is not None]
     completed = len(completed_latencies)
     p50, p99 = _percentiles(completed_latencies)
@@ -649,6 +726,9 @@ def run_loadtest(
     degrade_method: str | None = None,
     degrade_params: Mapping[str, Any] | None = None,
     max_inflight: int | None = None,
+    chaos: FaultInjector | Iterable[FaultSpec] | None = None,
+    max_restarts: int | None = None,
+    request_timeout: float | None = None,
 ) -> LoadtestReport:
     """Measure served vs serial replay of ``workload``; see module doc.
 
@@ -674,6 +754,19 @@ def run_loadtest(
     usual; served *degraded* answers are verified against a serial
     engine solving the degraded request — byte-identity is a property
     of every answer actually served, not only the lucky ones.
+
+    ``chaos`` (a :class:`~repro.serving.faults.FaultInjector` or a
+    plain list of :class:`~repro.serving.faults.FaultSpec`) arms
+    deterministic fault injection inside the sharded dispatcher
+    (``workers >= 1`` required): workers are killed/stopped at
+    scheduled submit counts, replies dropped or delayed at scheduled
+    worker-local ordinals, and the supervisor + retry machinery is
+    expected to recover every request.  Per-query failures are then
+    *accounted* (``failed``) instead of aborting the replay, and the
+    report grows a ``chaos`` section with the schedule, what fired,
+    and the supervisor's recovery accounting.  ``max_restarts`` and
+    ``request_timeout`` pass through to the dispatcher's restart
+    budget and per-request hang detector.
     """
     if concurrency < 1:
         raise ParameterError(f"concurrency must be >= 1, got {concurrency}")
@@ -694,6 +787,21 @@ def run_loadtest(
     if (degrade_method or degrade_params) and not slo_aware:
         raise ParameterError(
             "degrade_method/degrade_params only apply with slo_ms set"
+        )
+    injector: FaultInjector | None = None
+    if chaos is not None:
+        injector = (
+            chaos if isinstance(chaos, FaultInjector) else FaultInjector(chaos)
+        )
+    if workers < 1 and (
+        injector is not None
+        or max_restarts is not None
+        or request_timeout is not None
+    ):
+        raise ParameterError(
+            "chaos/max_restarts/request_timeout require workers >= 1: "
+            "fault injection and supervision live in the sharded "
+            "dispatcher, not the in-process EngineServer"
         )
     params = dict(params or {})
     spec, _ = resolve_method(method)
@@ -722,6 +830,9 @@ def run_loadtest(
         degrade_method=degrade_method,
         degrade_params=degrade_params,
         max_inflight=max_inflight,
+        chaos=injector,
+        max_restarts=max_restarts,
+        request_timeout=request_timeout,
     )
     serial_metrics, serial_estimates = _run_serial(
         make_graph,
@@ -756,6 +867,25 @@ def run_loadtest(
                 )
                 for source, estimate in degraded_estimates.values()
             )
+    chaos_doc: dict[str, Any] = {}
+    if injector is not None:
+        fired = injector.fired()
+        worker_side = [
+            s for s in injector.schedule if s.kind in WORKER_KINDS
+        ]
+        chaos_doc = {
+            "scheduled": injector.summary(),
+            # Parent-side faults fire from the dispatcher and are
+            # observable; worker-side specs fire inside the worker on
+            # local ordinals (no feedback channel), so they count as
+            # injected by schedule.
+            "injected": len(fired) + len(worker_side),
+            "fired": [
+                {"kind": s.kind, "worker": s.worker, "at": s.at}
+                for s in fired
+            ],
+            "supervisor": dict(stats.get("supervisor", {})),
+        }
     return LoadtestReport(
         workload=workload.describe(),
         method=spec.name,
@@ -768,4 +898,5 @@ def run_loadtest(
         server_stats=stats,
         workers=workers,
         frontdoor=dict(stats.get("frontdoor", {})),
+        chaos=chaos_doc,
     )

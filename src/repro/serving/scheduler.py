@@ -457,7 +457,9 @@ class QueryScheduler:
             for pending in slot:
                 self._resolve(pending.future, self._stamp(served, pending))
 
-    def _retry_individually(self, slots: list[list[_Pending]]) -> None:
+    def _retry_individually(  # repro: allow[retry-discipline] -- one-shot de-batching fallback: each slot is re-executed exactly once, in-process, with errors forwarded to the future
+        self, slots: list[list[_Pending]]
+    ) -> None:
         """Batch failed: answer each slot alone so one bad request
         cannot poison its groupmates."""
         for slot in slots:

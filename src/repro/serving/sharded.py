@@ -36,6 +36,24 @@ Request/response framing is plain picklable tuples over per-worker
 update barrier correct (queries enqueued before the barrier are
 answered at the old version, the barrier message follows them, and new
 queries wait on the writer lock).
+
+Self-healing (PR 9): the dispatcher runs a supervisor thread that
+notices worker death (``process.is_alive()``, surfaced promptly by the
+timed collector waits), respawns the shard over the *same* shared
+image after a jittered exponential backoff
+(:class:`~repro.serving.supervisor.RestartPolicy`), replays the
+dispatcher's update journal so the fresh worker reaches the current
+graph version, and only then restores its arc on the ring.  A restart
+budget turns a crash-looping shard into a permanent removal with a
+``degraded_capacity`` stats flag instead of an outage.  Reads get a
+deadline-aware bounded retry (:class:`RetryPolicy`) and per-shard
+circuit breakers (:class:`CircuitBreaker`) — all safe because answers
+are pure functions of ``(seed, source)``, so a retried or rerouted
+request cannot change bytes.  A seeded
+:class:`~repro.serving.faults.FaultInjector` threads deterministic
+fault schedules through ``submit`` (process signals) and the worker
+loop (reply drops/delays, mid-barrier crashes) so chaos runs replay
+exactly.
 """
 
 from __future__ import annotations
@@ -58,14 +76,17 @@ from repro.errors import (
     DeadlineExceeded,
     NodeNotFoundError,
     ParameterError,
+    WorkerUnavailableError,
 )
 from repro.graph.digraph import DiGraph
 from repro.graph.dynamic import DynamicGraph
 from repro.serving.cache import resolve_request
+from repro.serving.faults import FaultInjector, FaultSpec, WorkerFaultPlan
 from repro.serving.locks import RWLock
 from repro.serving.scheduler import ServedResult
 from repro.serving.server import EngineServer
 from repro.serving.shm import SharedGraphHandle, SharedGraphImage
+from repro.serving.supervisor import CircuitBreaker, RestartPolicy, RetryPolicy
 
 __all__ = ["ShardedDispatcher", "WorkerConfig"]
 
@@ -93,6 +114,8 @@ class WorkerConfig:
     window: float = 0.002
     max_batch: int = 64
     backend: str | None = None
+    #: Worker-side fault schedule (chaos runs only; empty in production).
+    faults: tuple[FaultSpec, ...] = ()
 
 
 def _raise_exit(signum: int, frame: FrameType | None) -> None:
@@ -123,6 +146,14 @@ def _worker_main(
     * ``("stats", req_id)`` -> ``("stats", req_id, dict)``
     * ``("stop",)`` -> clean exit.
 
+    The worker also emits unsolicited
+    ``("heartbeat", graph_version, cache_size, monotonic_ts)``
+    messages — once at startup and once per idle second — which the
+    dispatcher uses for health visibility and for asserting that a
+    respawned worker starts at the journal-replayed graph version with
+    an empty result cache (stale memoised answers must not survive a
+    respawn).
+
     The request queue is drained in bursts: everything immediately
     available is submitted to the local server *before* blocking on
     results, so the per-worker micro-batch window sees real company
@@ -152,10 +183,31 @@ def _worker_main(
         )
         with server:
             _serve_messages(
-                worker_id, server, requests, responses, config.max_batch
+                worker_id,
+                server,
+                requests,
+                responses,
+                config.max_batch,
+                WorkerFaultPlan(config.faults),
             )
     finally:
         image.close()
+
+
+#: Seconds between unsolicited worker heartbeats, busy or idle.
+_HEARTBEAT_INTERVAL = 1.0
+
+
+def _heartbeat(server: EngineServer, responses: Any) -> None:
+    """Emit one unsolicited health/version/cache report."""
+    responses.put(
+        (
+            "heartbeat",
+            server.graph_version,
+            server.cache_size,
+            time.monotonic(),
+        )
+    )
 
 
 def _serve_messages(
@@ -164,8 +216,11 @@ def _serve_messages(
     requests: Any,
     responses: Any,
     max_burst: int,
+    plan: WorkerFaultPlan,
 ) -> None:
     """The worker's receive loop; returns on ``("stop",)`` / orphaning."""
+    _heartbeat(server, responses)
+    last_beat = time.monotonic()
     while True:
         try:
             message = requests.get(timeout=1.0)
@@ -174,6 +229,8 @@ def _serve_messages(
                 # Re-parented to init: the dispatcher died without a
                 # stop message; exit rather than serve nobody.
                 return
+            _heartbeat(server, responses)
+            last_beat = time.monotonic()
             continue
         burst = [message]
         while len(burst) < max_burst:
@@ -195,13 +252,13 @@ def _serve_messages(
                         **params,
                     )
                 except Exception as exc:  # noqa: BLE001 - forwarded
-                    responses.put(("error", req_id, exc))
+                    _put_reply(responses, plan, ("error", req_id, exc))
                     continue
                 pending.append((req_id, future))
                 continue
             # Control messages order against queries: everything
             # submitted before them must resolve first.
-            _flush(worker_id, pending, responses)
+            _flush(worker_id, pending, responses, plan)
             pending = []
             if kind == "stop":
                 return
@@ -212,26 +269,56 @@ def _serve_messages(
                 except Exception as exc:  # noqa: BLE001 - forwarded
                     responses.put(("update-error", barrier_id, exc))
                 else:
+                    if plan and plan.on_update_applied():
+                        # Scheduled chaos: die *after* applying the
+                        # batch, *before* acking — the worst spot for
+                        # the barrier.  ``os._exit`` skips ``finally``
+                        # blocks, like a real SIGKILL would.
+                        os._exit(17)
                     responses.put(("updated", barrier_id, version))
             elif kind == "stats":
                 responses.put(("stats", message[1], server.stats()))
-        _flush(worker_id, pending, responses)
+        _flush(worker_id, pending, responses, plan)
+        # Time-based, not idle-based: a worker saturated with traffic
+        # (or a parent polling stats) must still report its version
+        # and cache freshness.
+        now = time.monotonic()
+        if now - last_beat >= _HEARTBEAT_INTERVAL:
+            _heartbeat(server, responses)
+            last_beat = now
+
+
+def _put_reply(
+    responses: Any, plan: WorkerFaultPlan, message: tuple
+) -> None:
+    """Send one query reply, honouring the worker's fault plan."""
+    if plan:
+        action = plan.on_reply()
+        if action is not None:
+            kind, seconds = action
+            if kind == "drop":
+                return
+            time.sleep(seconds)
+    responses.put(message)
 
 
 def _flush(
     worker_id: int,
     pending: list[tuple[int, Future]],
     responses: Any,
+    plan: WorkerFaultPlan,
 ) -> None:
     """Resolve a burst of submitted futures back to the dispatcher."""
     for req_id, future in pending:
         try:
             served: ServedResult = future.result()
         except Exception as exc:  # noqa: BLE001 - forwarded
-            responses.put(("error", req_id, exc))
+            _put_reply(responses, plan, ("error", req_id, exc))
         else:
-            responses.put(
-                ("result", req_id, replace(served, worker=worker_id))
+            _put_reply(
+                responses,
+                plan,
+                ("result", req_id, replace(served, worker=worker_id)),
             )
 
 
@@ -285,6 +372,28 @@ class _HashRing:
             index = 0
         return self._owners[self._points[index]]
 
+    def route_order(self, source: int) -> list[int]:
+        """All owners in clockwise preference order from ``source``.
+
+        The first entry is :meth:`route`'s answer; the rest are the
+        fallback order a breaker-aware router walks when the primary
+        shard's circuit is open.  Deduplicated, so the list length is
+        the live worker count.
+        """
+        if not self._points:
+            raise RuntimeError("no live workers")
+        position = _ring_point(f"s:{source}")
+        start = bisect.bisect_right(self._points, position)
+        order: list[int] = []
+        seen: set[int] = set()
+        count = len(self._points)
+        for step in range(count):
+            owner = self._owners[self._points[(start + step) % count]]
+            if owner not in seen:
+                seen.add(owner)
+                order.append(owner)
+        return order
+
     def __len__(self) -> int:
         return len(set(self._owners.values()))
 
@@ -299,6 +408,11 @@ class _PendingRequest:
     params: dict[str, Any]
     fresh: bool
     deadline: float | None = None
+    #: Re-submissions so far (reroutes + timeout retries); bounded by
+    #: the dispatcher's :class:`RetryPolicy`.
+    attempts: int = 0
+    #: ``time.monotonic()`` of the latest enqueue, for timeout scans.
+    enqueued_at: float = 0.0
 
 
 @dataclass
@@ -312,6 +426,19 @@ class _WorkerState:
     collector: threading.Thread | None = None
     pending: dict[int, _PendingRequest] = field(default_factory=dict)
     alive: bool = True
+    #: Incarnation counter: bumps on every respawn of this worker id.
+    generation: int = 0
+    #: Respawns consumed from the restart budget (spawn failures count).
+    restarts: int = 0
+    #: Budget exhausted — permanently removed, never respawned again.
+    removed: bool = False
+    #: ``time.monotonic()`` when the collector declared this shard dead.
+    died_at: float = 0.0
+    #: Latest unsolicited heartbeat: (monotonic ts, version, cache size).
+    last_heartbeat: float = 0.0
+    reported_version: int = -1
+    reported_cache_size: int = -1
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
 
 
 @dataclass
@@ -321,10 +448,23 @@ class _Barrier:
     expected: set[int]
     versions: dict[int, int] = field(default_factory=dict)
     errors: list[BaseException] = field(default_factory=list)
+    #: Workers whose outcome is an error (keyed, so a worker that acks
+    #: and then dies cannot stand in for one that never answered).
+    failed: set[int] = field(default_factory=set)
     done: threading.Event = field(default_factory=threading.Event)
 
     def settle_if_complete(self) -> None:
-        if len(self.versions) + len(self.errors) >= len(self.expected):
+        """Settle once every *still-expected* worker has an outcome.
+
+        Set-based on purpose: a worker that dies mid-barrier is
+        discarded from ``expected`` and the barrier settles on the
+        survivors' version agreement.  The old count-based check
+        (``len(versions) + len(errors) >= len(expected)``) could
+        settle early when an acked worker later died — its stale ack
+        counted against a shrunken ``expected`` that still contained a
+        worker with no outcome at all.
+        """
+        if self.expected <= (set(self.versions) | self.failed):
             self.done.set()
 
 
@@ -362,6 +502,29 @@ class ShardedDispatcher:
     update_timeout:
         Seconds to wait for every worker's barrier ack in
         :meth:`apply_updates` before declaring the cluster wedged.
+    restart_policy:
+        :class:`~repro.serving.supervisor.RestartPolicy` for crashed
+        shards (default: jittered exponential backoff, budget of 3
+        respawns per worker).  ``max_restarts`` is a shorthand that
+        overrides just the budget; ``max_restarts=0`` disables
+        respawning (a dead worker is removed permanently, the
+        pre-supervision behaviour).
+    retry_policy:
+        :class:`~repro.serving.supervisor.RetryPolicy` bounding read
+        re-submissions (reroutes off dead shards, timeout retries).
+        Retried answers are byte-identical by construction.
+    request_timeout:
+        Seconds a routed request may sit unanswered before the
+        supervisor counts a shard failure and retries it elsewhere.
+        ``None`` (default) disables the scan — death detection alone
+        reroutes; set it for chaos runs where replies can be dropped.
+    breaker_threshold, breaker_reset:
+        Per-shard circuit breaker: consecutive failures to trip open,
+        and seconds before the half-open probe.
+    fault_injector:
+        Deterministic chaos schedule
+        (:class:`~repro.serving.faults.FaultInjector`); ``None`` in
+        production.
 
     The dispatcher mirrors :class:`EngineServer`'s surface —
     ``submit``/``query``/``batch``/``apply_updates``/``stats``/
@@ -386,6 +549,13 @@ class ShardedDispatcher:
         start_method: str | None = None,
         vnodes: int = _DEFAULT_VNODES,
         update_timeout: float = 30.0,
+        restart_policy: RestartPolicy | None = None,
+        max_restarts: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        request_timeout: float | None = None,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 1.0,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
@@ -423,12 +593,37 @@ class ShardedDispatcher:
             backend=backend,
         )
         self._update_timeout = float(update_timeout)
+        if restart_policy is None:
+            restart_policy = RestartPolicy(seed=seed)
+        if max_restarts is not None:
+            if max_restarts < 0:
+                raise ParameterError(
+                    f"max_restarts must be >= 0, got {max_restarts}"
+                )
+            restart_policy = replace(
+                restart_policy, max_restarts=max_restarts
+            )
+        self._restart_policy = restart_policy
+        self._retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy(seed=seed)
+        )
+        self._request_timeout = (
+            float(request_timeout) if request_timeout is not None else None
+        )
+        if breaker_threshold < 1:
+            raise ParameterError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        self._breaker_threshold = breaker_threshold
+        self._breaker_reset = float(breaker_reset)
+        self._faults = fault_injector
         self._rwlock = RWLock()
         #: guards ring/worker-state/counter mutations (never held while
         #: blocking; collector threads take it too)
         self._mutex = threading.Lock()
         self._ring = _HashRing(vnodes)
         self._states: dict[int, _WorkerState] = {}
+        self._workers = workers
         self._next_id = 0
         self._closed = False
         self._stopping = False
@@ -437,46 +632,96 @@ class ShardedDispatcher:
         self._rerouted = 0
         self._worker_failures = 0
         self._barriers: dict[int, _Barrier] = {}
+        #: every successfully barriered update, in order — the journal
+        #: a respawned worker replays to reach the current version
+        #: (``len(self._update_log) == self._version`` at all times)
+        self._update_log: list[tuple[str, int, int]] = []
+        #: worker_id -> monotonic time its next respawn attempt is due
+        self._respawn_due: dict[int, float] = {}
+        #: worker_ids with a respawn currently in flight (spawned
+        #: process not yet registered in ``_states``; close() tears
+        #: these down if it races a respawn)
+        self._respawning: dict[int, _WorkerState] = {}
+        #: (due monotonic time, request) backoff queue for read retries
+        self._retry_due: list[tuple[float, _PendingRequest]] = []
+        self._respawns = 0
+        self._permanent_failures = 0
+        self._retries = 0
+        self._request_timeouts = 0
+        self._breaker_skips = 0
+        self._recovery_last = 0.0
+        self._recovery_max = 0.0
+        self._supervisor_wake = threading.Event()
+        self._supervisor: threading.Thread | None = None
         if start_method is None and "fork" in get_all_start_methods():
             start_method = "fork"
-        context = get_context(start_method)
+        self._context = get_context(start_method)
         try:
             for worker_id in range(workers):
-                req_q = context.Queue()
-                resp_q = context.Queue()
-                process = context.Process(
-                    target=_worker_main,
-                    args=(
-                        worker_id,
-                        self._image.handle,
-                        self._config,
-                        req_q,
-                        resp_q,
-                    ),
-                    name=f"repro-shard-{worker_id}",
-                    daemon=True,
-                )
-                process.start()
-                state = _WorkerState(
-                    worker_id=worker_id,
-                    process=process,
-                    requests=req_q,
-                    responses=resp_q,
-                )
+                state = self._spawn_state(worker_id)
                 self._states[worker_id] = state
                 self._ring.add(worker_id)
             for state in self._states.values():
-                thread = threading.Thread(
-                    target=self._collect,
-                    args=(state,),
-                    name=f"repro-shard-collector-{state.worker_id}",
-                    daemon=True,
-                )
-                state.collector = thread
-                thread.start()
+                self._start_collector(state)
+            supervisor = threading.Thread(
+                target=self._supervise,
+                name="repro-shard-supervisor",
+                daemon=True,
+            )
+            self._supervisor = supervisor
+            supervisor.start()
         except BaseException:
             self.close()
             raise
+
+    def _spawn_state(
+        self, worker_id: int, *, generation: int = 0, restarts: int = 0
+    ) -> _WorkerState:
+        """Fork one shard process and its parent-side bookkeeping."""
+        config = self._config
+        if self._faults is not None and generation == 0:
+            # Worker-side faults arm the first incarnation only: the
+            # trigger ordinals are worker-local and would re-fire on
+            # the respawn's journal replay (a crash_update would
+            # otherwise crash-loop every respawn straight through the
+            # restart budget).
+            worker_faults = self._faults.worker_plan(worker_id)
+            if worker_faults:
+                config = replace(config, faults=worker_faults)
+        req_q = self._context.Queue()
+        resp_q = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker_id, self._image.handle, config, req_q, resp_q),
+            name=f"repro-shard-{worker_id}.{generation}",
+            daemon=True,
+        )
+        process.start()
+        return _WorkerState(
+            worker_id=worker_id,
+            process=process,
+            requests=req_q,
+            responses=resp_q,
+            generation=generation,
+            restarts=restarts,
+            breaker=CircuitBreaker(
+                failure_threshold=self._breaker_threshold,
+                reset_timeout=self._breaker_reset,
+            ),
+        )
+
+    def _start_collector(self, state: _WorkerState) -> None:
+        thread = threading.Thread(
+            target=self._collect,
+            args=(state,),
+            name=(
+                f"repro-shard-collector-{state.worker_id}"
+                f".{state.generation}"
+            ),
+            daemon=True,
+        )
+        state.collector = thread
+        thread.start()
 
     # -- properties ------------------------------------------------------
     @property
@@ -484,6 +729,12 @@ class ShardedDispatcher:
         """Live worker count (shrinks when shards crash)."""
         with self._mutex:
             return sum(1 for s in self._states.values() if s.alive)
+
+    @property
+    def configured_workers(self) -> int:
+        """Worker count the dispatcher was built with (the target the
+        supervisor restores toward after crashes)."""
+        return self._workers
 
     @property
     def graph_version(self) -> int:
@@ -552,11 +803,11 @@ class ShardedDispatcher:
             with self._mutex:
                 if self._closed:
                     raise RuntimeError("dispatcher is closed")
-                worker_id = self._ring.route(source)
-                state = self._states[worker_id]
+                state = self._route_healthy(source)
                 req_id = self._next_id
                 self._next_id += 1
                 self._submitted += 1
+                submit_count = self._submitted
                 pending = _PendingRequest(
                     future=Future(),
                     source=source,
@@ -564,6 +815,7 @@ class ShardedDispatcher:
                     params=dict(params),
                     fresh=fresh,
                     deadline=deadline,
+                    enqueued_at=time.monotonic(),
                 )
                 state.pending[req_id] = pending
             # Enqueued under the read lock: a writer that acquires
@@ -580,7 +832,52 @@ class ShardedDispatcher:
                     deadline,
                 )
             )
+        if self._faults is not None:
+            self._inject_parent_faults(submit_count)
         return pending.future
+
+    def _route_healthy(self, source: int) -> _WorkerState:
+        """Route by ring order, skipping shards whose breaker is open.
+
+        Called under ``_mutex``.  The primary owner (what
+        :meth:`route` reports) wins whenever its breaker admits
+        traffic — including the single half-open probe after a
+        cooldown; otherwise the walk continues clockwise.  With every
+        breaker open the primary gets the request anyway: failing it
+        here would turn a slow cluster into a hard outage.
+        """
+        order = self._ring.route_order(source)
+        now = time.monotonic()
+        for position, worker_id in enumerate(order):
+            state = self._states[worker_id]
+            if state.breaker.allows(now):
+                if position:
+                    self._breaker_skips += 1
+                return state
+        return self._states[order[0]]
+
+    def _inject_parent_faults(self, submit_count: int) -> None:
+        """Fire any process-level scheduled faults due at this submit."""
+        assert self._faults is not None
+        for spec in self._faults.parent_faults_at(submit_count):
+            with self._mutex:
+                state = self._states.get(spec.worker)
+                pid = (
+                    state.process.pid
+                    if state is not None and state.alive
+                    else None
+                )
+            if pid is None:
+                continue
+            signum = {
+                "kill": signal.SIGKILL,
+                "stop": signal.SIGSTOP,
+                "cont": signal.SIGCONT,
+            }[spec.kind]
+            try:
+                os.kill(pid, signum)
+            except ProcessLookupError:
+                pass
 
     def query(
         self,
@@ -666,8 +963,20 @@ class ShardedDispatcher:
                     "shards diverged after update barrier: versions "
                     f"{sorted(barrier.versions.items())}"
                 )
+            if not versions:
+                # Every expected worker died mid-barrier.  Returning
+                # the stale version here (the old behaviour) would
+                # report success for an update nobody applied.
+                raise RuntimeError(
+                    "every worker died during the update barrier; "
+                    "the batch was not applied"
+                )
             with self._mutex:
-                self._version = versions.pop() if versions else self._version
+                self._version = versions.pop()
+                # Journal for respawn catch-up: a worker respawned
+                # after this barrier replays the log and must land on
+                # exactly this version (one version bump per update).
+                self._update_log.extend(batch)
                 return self._version
 
     # -- collector / failure handling ------------------------------------
@@ -686,13 +995,22 @@ class ShardedDispatcher:
                     return
                 continue
             except (EOFError, OSError):
-                # Queue torn down under us (close() raced the read).
+                # Queue torn down under us.  Either close() raced the
+                # read (stopping — just exit) or the worker died hard
+                # enough to wreck its feeder; route through the death
+                # path so supervision still notices.
+                with self._mutex:
+                    if self._stopping:
+                        return
+                if not state.process.is_alive():
+                    self._on_worker_death(state)
                 return
             kind = message[0]
             if kind == "result":
                 _, req_id, served = message
                 with self._mutex:
                     pending = state.pending.pop(req_id, None)
+                    state.breaker.record_success()
                 if pending is not None:
                     self._resolve(pending.future, served)
             elif kind == "error":
@@ -701,6 +1019,12 @@ class ShardedDispatcher:
                     pending = state.pending.pop(req_id, None)
                 if pending is not None:
                     self._fail(pending.future, exc)
+            elif kind == "heartbeat":
+                _, version, cache_size, ts = message
+                with self._mutex:
+                    state.last_heartbeat = float(ts)
+                    state.reported_version = int(version)
+                    state.reported_cache_size = int(cache_size)
             elif kind == "updated":
                 _, barrier_id, version = message
                 with self._mutex:
@@ -714,6 +1038,7 @@ class ShardedDispatcher:
                     barrier = self._barriers.get(barrier_id)
                     if barrier is not None:
                         barrier.errors.append(exc)
+                        barrier.failed.add(state.worker_id)
                         barrier.settle_if_complete()
             elif kind == "stats":
                 _, req_id, stats = message
@@ -736,18 +1061,24 @@ class ShardedDispatcher:
             pass
 
     def _on_worker_death(self, state: _WorkerState) -> None:
-        """A shard died: shrink the ring, reroute its pending requests.
+        """A shard died: shrink the ring, retry its pending requests.
 
         Every request the dead worker had not answered is resubmitted
-        through the normal routing path (which no longer includes the
+        through the bounded retry path (routing no longer includes the
         dead worker); with no survivors the futures fail instead of
         hanging.  Barriers waiting on the dead worker stop expecting
-        its ack.
+        its ack and settle on the survivors.  When the restart policy
+        has budget left, a respawn is scheduled after the jittered
+        backoff; otherwise the worker is removed permanently and the
+        dispatcher reports degraded capacity.
         """
+        now = time.monotonic()
         with self._mutex:
             if not state.alive:
                 return
             state.alive = False
+            state.died_at = now
+            state.breaker.trip(now)
             self._worker_failures += 1
             self._ring.remove(state.worker_id)
             orphaned = list(state.pending.values())
@@ -756,6 +1087,16 @@ class ShardedDispatcher:
                 barrier.expected.discard(state.worker_id)
                 barrier.settle_if_complete()
             stopping = self._stopping
+            if not stopping:
+                attempt = state.restarts
+                if self._restart_policy.allows(attempt):
+                    delay = self._restart_policy.delay(
+                        state.worker_id, attempt
+                    )
+                    self._respawn_due[state.worker_id] = now + delay
+                else:
+                    state.removed = True
+                    self._permanent_failures += 1
         if stopping:
             for request in orphaned:
                 self._fail(
@@ -763,30 +1104,103 @@ class ShardedDispatcher:
                     RuntimeError("dispatcher closed during dispatch"),
                 )
             return
+        self._supervisor_wake.set()
         for request in orphaned:
-            self._reroute(request, died=state.worker_id)
-
-    def _reroute(self, request: _PendingRequest, *, died: int) -> None:
-        """Resubmit one orphaned request to a surviving shard."""
-        with self._mutex:
-            try:
-                worker_id = self._ring.route(request.source)
-            except RuntimeError:
-                worker_id = None
-            if worker_id is None:
+            if request.source < 0:
+                # Control probes (stats) are not reroutable queries;
+                # their caller tolerates a shard dropping out.
                 self._fail(
                     request.future,
-                    RuntimeError(
-                        f"worker {died} died and no live workers remain "
-                        f"for source {request.source}"
+                    WorkerUnavailableError(
+                        f"worker {state.worker_id} died before "
+                        f"answering a {request.method} probe"
                     ),
                 )
+                continue
+            self._retry_request(
+                request, reason=f"worker {state.worker_id} died"
+            )
+
+    # -- bounded retries --------------------------------------------------
+    def _retry_request(self, request: _PendingRequest, *, reason: str) -> None:
+        """Decide one read's fate after a shard failed it: retry or fail.
+
+        Bounded by the retry policy's attempt budget, paced by its
+        jittered backoff, and deadline-aware: a retry whose backoff
+        lands past the request deadline fails now instead of burning a
+        shard on an answer nobody will read.  Safe to retry at all
+        because answers are pure functions of ``(seed, source)``.
+        """
+        now = time.monotonic()
+        attempt = request.attempts
+        request.attempts += 1
+        delay = self._retry_policy.next_delay(
+            attempt, deadline=request.deadline, now=now
+        )
+        if delay is None:
+            if request.deadline is not None and now >= request.deadline:
+                self._fail(
+                    request.future,
+                    DeadlineExceeded(
+                        f"source {request.source}: deadline passed "
+                        f"after {attempt} attempt(s) ({reason})"
+                    ),
+                )
+            else:
+                self._fail(
+                    request.future,
+                    WorkerUnavailableError(
+                        f"source {request.source}: retry budget "
+                        f"exhausted after {attempt} attempt(s) ({reason})"
+                    ),
+                )
+            return
+        if delay <= 0.0:
+            self._resubmit(request)
+            return
+        with self._mutex:
+            self._retry_due.append((now + delay, request))
+        self._supervisor_wake.set()
+
+    def _resubmit(self, request: _PendingRequest) -> None:
+        """Re-enqueue one retried request on a (breaker-aware) shard."""
+        with self._mutex:
+            if self._closed:
+                self._fail(
+                    request.future, RuntimeError("dispatcher is closed")
+                )
                 return
-            target = self._states[worker_id]
-            req_id = self._next_id
-            self._next_id += 1
-            self._rerouted += 1
-            target.pending[req_id] = request
+            try:
+                target = self._route_healthy(request.source)
+            except RuntimeError:
+                target = None
+            if target is not None:
+                req_id = self._next_id
+                self._next_id += 1
+                self._rerouted += 1
+                self._retries += 1
+                request.enqueued_at = time.monotonic()
+                target.pending[req_id] = request
+            respawn_pending = bool(self._respawn_due) or bool(
+                self._respawning
+            )
+        if target is None:
+            if respawn_pending:
+                # Nobody is live right now but a respawn is in
+                # flight; spend another bounded attempt waiting for
+                # it rather than failing a recoverable read.
+                self._retry_request(
+                    request, reason="no live workers (respawn pending)"
+                )
+            else:
+                self._fail(
+                    request.future,
+                    WorkerUnavailableError(
+                        f"no live workers remain for source "
+                        f"{request.source}"
+                    ),
+                )
+            return
         target.requests.put(
             (
                 "query",
@@ -798,6 +1212,211 @@ class ShardedDispatcher:
                 request.deadline,
             )
         )
+
+    # -- supervision ------------------------------------------------------
+    def _supervise(self) -> None:
+        """Supervisor loop: respawns, paced retries, timeout scans.
+
+        Every wait is timed (``_POLL``) and every piece of work it
+        finds is bounded, so the loop adds no hang risk of its own;
+        it exits as soon as ``close()`` flips ``_stopping``.
+        """
+        while True:
+            self._supervisor_wake.wait(_POLL)
+            self._supervisor_wake.clear()
+            now = time.monotonic()
+            with self._mutex:
+                if self._stopping:
+                    return
+                due_respawns = [
+                    worker_id
+                    for worker_id, due in self._respawn_due.items()
+                    if due <= now
+                ]
+                for worker_id in due_respawns:
+                    del self._respawn_due[worker_id]
+                due_retries = [
+                    request for due, request in self._retry_due if due <= now
+                ]
+                self._retry_due = [
+                    (due, request)
+                    for due, request in self._retry_due
+                    if due > now
+                ]
+                timed_out: list[tuple[_WorkerState, _PendingRequest]] = []
+                if self._request_timeout is not None:
+                    for state in self._states.values():
+                        if not state.alive:
+                            continue
+                        expired = [
+                            req_id
+                            for req_id, request in state.pending.items()
+                            if request.source >= 0
+                            and request.enqueued_at > 0.0
+                            and now - request.enqueued_at
+                            > self._request_timeout
+                        ]
+                        for req_id in expired:
+                            timed_out.append(
+                                (state, state.pending.pop(req_id))
+                            )
+                            state.breaker.record_failure(now)
+                            self._request_timeouts += 1
+            for state, request in timed_out:
+                self._retry_request(
+                    request,
+                    reason=(
+                        f"no reply from worker {state.worker_id} within "
+                        f"{self._request_timeout}s"
+                    ),
+                )
+            for request in due_retries:
+                self._resubmit(request)
+            for worker_id in due_respawns:
+                self._respawn(worker_id)
+
+    def _respawn(self, worker_id: int) -> None:
+        """Bring one dead shard back over the same shared image.
+
+        Spawn a fresh process (zero-copy re-attach of the segment),
+        replay the update journal so its engine reaches the current
+        graph version, verify the acked version under the write lock
+        (serialising with concurrent ``apply_updates``), and only then
+        restore the worker's arc on the ring.  Any failure along the
+        way consumes another unit of restart budget.
+        """
+        with self._mutex:
+            if self._stopping or self._closed:
+                return
+            old = self._states.get(worker_id)
+            if old is None or old.alive or old.removed:
+                return
+            generation = old.generation + 1
+            restarts = old.restarts + 1
+        try:
+            state = self._spawn_state(
+                worker_id, generation=generation, restarts=restarts
+            )
+        except Exception:  # repro: allow[lock-discipline] -- spawn failure is a restart-budget event, not a crash: the policy decides whether to try again
+            self._respawn_failed(worker_id, restarts)
+            return
+        with self._mutex:
+            self._respawning[worker_id] = state
+        try:
+            acked = self._catch_up(state, acked=0)
+            if acked is None:
+                self._teardown_state(state)
+                self._respawn_failed(worker_id, restarts)
+                return
+            # Final delta under the write lock: no apply_updates can
+            # run concurrently, so after this the journal cannot grow
+            # before the worker is back on the ring.
+            with self._rwlock.write():
+                acked = self._catch_up(state, acked=acked)
+                with self._mutex:
+                    expected = self._version
+                    stopping = self._stopping
+                if stopping or acked is None or acked != expected:
+                    self._teardown_state(state)
+                    if not stopping:
+                        self._respawn_failed(worker_id, restarts)
+                    return
+                now = time.monotonic()
+                with self._mutex:
+                    self._states[worker_id] = state
+                    state.alive = True
+                    # The catch-up ack doubles as the first health
+                    # report (the worker's startup heartbeat was
+                    # drained during replay): fresh cache, journal
+                    # version, seen just now.
+                    state.last_heartbeat = now
+                    state.reported_version = acked
+                    state.reported_cache_size = 0
+                    self._ring.add(worker_id)
+                    self._respawns += 1
+                    recovery = now - old.died_at
+                    self._recovery_last = recovery
+                    self._recovery_max = max(self._recovery_max, recovery)
+                self._start_collector(state)
+        finally:
+            with self._mutex:
+                self._respawning.pop(worker_id, None)
+
+    def _catch_up(
+        self, state: _WorkerState, *, acked: int
+    ) -> int | None:
+        """Replay journal entries past ``acked`` to a respawning worker.
+
+        The worker is not on the ring and its collector is not running
+        yet, so its response queue is read directly here (timed waits
+        only).  Returns the journal length the worker has confirmed —
+        equal to its graph version, one bump per update — or ``None``
+        on death, timeout, error, or dispatcher shutdown.
+        """
+        with self._mutex:
+            batch = list(self._update_log[acked:])
+            target = len(self._update_log)
+            barrier_id = self._next_id
+            self._next_id += 1
+        if not batch:
+            return acked
+        state.requests.put(("update", barrier_id, batch))
+        deadline = time.monotonic() + self._update_timeout
+        while True:
+            with self._mutex:
+                if self._stopping:
+                    return None
+            try:
+                message = state.responses.get(timeout=_POLL)
+            except queue.Empty:
+                if not state.process.is_alive():
+                    return None
+                if time.monotonic() > deadline:
+                    return None
+                continue
+            except (EOFError, OSError):
+                return None
+            kind = message[0]
+            if kind == "updated" and message[1] == barrier_id:
+                version = int(message[2])
+                return version if version == target else None
+            if kind == "update-error":
+                return None
+            # Heartbeats (and any stale replies) are ignored here;
+            # the collector takes over once the worker is registered.
+
+    def _respawn_failed(self, worker_id: int, restarts: int) -> None:
+        """A respawn attempt died; spend budget on another or give up."""
+        now = time.monotonic()
+        with self._mutex:
+            old = self._states.get(worker_id)
+            if old is None or self._stopping:
+                return
+            old.restarts = restarts
+            if self._restart_policy.allows(restarts):
+                delay = self._restart_policy.delay(worker_id, restarts)
+                self._respawn_due[worker_id] = now + delay
+            else:
+                old.removed = True
+                self._permanent_failures += 1
+        self._supervisor_wake.set()
+
+    def _teardown_state(self, state: _WorkerState) -> None:
+        """Dispose of a worker that never made it onto the ring."""
+        try:
+            state.requests.put(("stop",))
+        except (ValueError, OSError):
+            pass
+        state.process.join(timeout=1.0)
+        if state.process.is_alive():
+            state.process.kill()
+            state.process.join(timeout=1.0)
+        for q in (state.requests, state.responses):
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except (ValueError, OSError):
+                pass
 
     # -- stats -----------------------------------------------------------
     def stats(self, timeout: float = 10.0) -> dict[str, Any]:
@@ -886,16 +1505,60 @@ class ShardedDispatcher:
             if sched_totals["engine_calls"]
             else 0.0
         )
+        now = time.monotonic()
         with self._mutex:
+            supervisor = {
+                "respawns": self._respawns,
+                "permanent_failures": self._permanent_failures,
+                "degraded_capacity": self._permanent_failures > 0,
+                "recovery_s": {
+                    "last": self._recovery_last,
+                    "max": self._recovery_max,
+                },
+                "retries": self._retries,
+                "request_timeouts": self._request_timeouts,
+                "breaker_skips": self._breaker_skips,
+                "max_restarts": self._restart_policy.max_restarts,
+                "restarts": {
+                    str(state.worker_id): state.restarts
+                    for state in self._states.values()
+                },
+                "removed": sorted(
+                    state.worker_id
+                    for state in self._states.values()
+                    if state.removed
+                ),
+                "breakers": {
+                    str(state.worker_id): state.breaker.snapshot()
+                    for state in self._states.values()
+                    if state.alive
+                },
+            }
+            heartbeats = {
+                str(state.worker_id): {
+                    "age_s": (
+                        now - state.last_heartbeat
+                        if state.last_heartbeat > 0.0
+                        else None
+                    ),
+                    "graph_version": state.reported_version,
+                    "cache_size": state.reported_cache_size,
+                }
+                for state in self._states.values()
+                if state.alive
+            }
             return {
                 "requests": self._submitted,
                 "graph_version": self._version,
                 "workers": len(per_worker),
+                "configured_workers": self._workers,
                 "rerouted": self._rerouted,
                 "worker_failures": self._worker_failures,
                 "cache": cache,
                 "scheduler": scheduler,
                 "per_worker": per_worker,
+                "supervisor": supervisor,
+                "heartbeats": heartbeats,
             }
 
     # -- lifecycle -------------------------------------------------------
@@ -916,12 +1579,30 @@ class ShardedDispatcher:
             self._closed = True
             self._stopping = True
             states = list(self._states.values())
+            respawning = list(self._respawning.values())
+            self._respawning.clear()
+            self._respawn_due.clear()
+            waiting_retries = [request for _, request in self._retry_due]
+            self._retry_due = []
             for barrier in self._barriers.values():
                 barrier.errors.append(
                     RuntimeError("dispatcher closed during update barrier")
                 )
                 barrier.done.set()
             self._barriers.clear()
+        self._supervisor_wake.set()
+        if (
+            self._supervisor is not None
+            and self._supervisor is not threading.current_thread()
+        ):
+            self._supervisor.join(timeout=5.0)
+            self._supervisor = None
+        for request in waiting_retries:
+            self._fail(
+                request.future, RuntimeError("dispatcher is closed")
+            )
+        for state in respawning:
+            self._teardown_state(state)
         for state in states:
             if state.alive:
                 try:

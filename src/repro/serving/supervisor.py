@@ -1,0 +1,246 @@
+"""Supervision policies for the sharded serving tier.
+
+:class:`~repro.serving.sharded.ShardedDispatcher` used to treat a dead
+worker as permanently lost: the ring shrank, the survivors absorbed the
+arc, and capacity only ever went down.  This module holds the *policy*
+side of the self-healing story — deliberately free of any process or
+queue handling, so every decision it makes is a pure function of its
+inputs and a seed:
+
+* :class:`RestartPolicy` — jittered exponential backoff with a restart
+  budget.  Delays are derived from ``(seed, worker_id, attempt)``
+  through a seeded generator, so a supervisor replaying the same crash
+  schedule waits the exact same sequence of delays (chaos runs are
+  reproducible end to end, not just "roughly similar").
+* :class:`RetryPolicy` — deadline-aware bounded retries for reads.
+  Retrying a read is safe because every answer is a pure function of
+  ``(seed, source)`` (:func:`repro.api.engine.per_source_rng`): a
+  retried request returns byte-identical results no matter which shard
+  finally serves it.  The policy only decides *whether* and *when*;
+  it never changes *what*.
+* :class:`CircuitBreaker` — per-shard closed → open → half-open state
+  machine.  Consecutive failures open the breaker; after a cooldown a
+  single half-open probe is let through; its outcome closes or
+  re-opens the circuit.  The dispatcher routes around open shards so a
+  sick worker stops eating deadline budget from live traffic.
+
+All mutation of a :class:`CircuitBreaker` happens under the
+dispatcher's mutex; the class itself stays lock-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "RestartPolicy",
+    "RetryPolicy",
+]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+def _seeded_jitter(seed: int, *key: int) -> float:
+    """Uniform draw in ``[0, 1)`` keyed by ``(seed, *key)``.
+
+    A fresh seeded generator per decision (instead of one shared
+    stateful stream) makes every delay independent of evaluation
+    order: worker 3's second restart delay is the same number whether
+    worker 1 crashed before it or not.
+    """
+    rng = np.random.default_rng((int(seed), *[int(k) for k in key]))
+    return float(rng.random())
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Jittered exponential backoff with a restart budget.
+
+    ``delay(worker_id, attempt)`` for ``attempt = 0, 1, 2, ...`` grows
+    as ``base_delay * multiplier**attempt`` capped at ``max_delay``,
+    then stretched by a deterministic jitter factor in
+    ``[1, 1 + jitter]``.  ``max_restarts`` is the per-worker budget:
+    once a worker has been respawned that many times and dies again,
+    the supervisor removes it permanently and flags degraded capacity
+    instead of crash-looping.  ``max_restarts=0`` disables respawning
+    entirely (the pre-supervision behaviour).
+    """
+
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.5
+    max_restarts: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0:
+            raise ParameterError(
+                f"base_delay must be >= 0, got {self.base_delay}"
+            )
+        if self.multiplier < 1.0:
+            raise ParameterError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.jitter < 0:
+            raise ParameterError(f"jitter must be >= 0, got {self.jitter}")
+        if self.max_restarts < 0:
+            raise ParameterError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+
+    def delay(self, worker_id: int, attempt: int) -> float:
+        """Backoff before restart number ``attempt`` (0-based) of a worker."""
+        raw = min(
+            self.max_delay, self.base_delay * self.multiplier**attempt
+        )
+        factor = 1.0 + self.jitter * _seeded_jitter(
+            self.seed, worker_id, attempt
+        )
+        return raw * factor
+
+    def allows(self, attempt: int) -> bool:
+        """Whether restart number ``attempt`` (0-based) is within budget."""
+        return attempt < self.max_restarts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline-aware bounded retries for rerouted/timed-out reads.
+
+    ``max_attempts`` bounds the number of *re*-submissions (the first
+    submission is free).  The first retry is immediate — a reroute off
+    a dead shard should not add latency — and later ones back off
+    exponentially with deterministic jitter.  :meth:`next_delay`
+    returns ``None`` when the request must fail instead: budget
+    exhausted, or the backoff would land past the request deadline
+    (retrying into a deadline that cannot be met only burns a shard's
+    time for an answer nobody will read).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ParameterError(
+                f"max_attempts must be >= 0, got {self.max_attempts}"
+            )
+        if self.base_delay < 0:
+            raise ParameterError(
+                f"base_delay must be >= 0, got {self.base_delay}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based; first is free)."""
+        if attempt <= 0:
+            return 0.0
+        raw = min(
+            self.max_delay,
+            self.base_delay * self.multiplier ** (attempt - 1),
+        )
+        factor = 1.0 + self.jitter * _seeded_jitter(self.seed, attempt)
+        return raw * factor
+
+    def next_delay(
+        self,
+        attempt: int,
+        *,
+        deadline: float | None,
+        now: float,
+    ) -> float | None:
+        """Delay before retry ``attempt``, or ``None`` to give up."""
+        if attempt >= self.max_attempts:
+            return None
+        delay = self.delay(attempt)
+        if deadline is not None and now + delay >= deadline:
+            return None
+        return delay
+
+
+@dataclass
+class CircuitBreaker:
+    """Closed → open → half-open breaker for one shard.
+
+    * **closed**: traffic flows; ``failure_threshold`` *consecutive*
+      failures trip it open (any success resets the streak).
+    * **open**: the dispatcher routes around the shard until
+      ``reset_timeout`` seconds have passed.
+    * **half-open**: exactly one probe request is admitted; success
+      closes the breaker, failure re-opens it for another cooldown.
+
+    All timestamps are ``time.monotonic()`` values supplied by the
+    caller, which keeps the state machine deterministic under test.
+    """
+
+    failure_threshold: int = 3
+    reset_timeout: float = 1.0
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    open_events: int = 0
+    _probe_inflight: bool = field(default=False, repr=False)
+
+    def allows(self, now: float) -> bool:
+        """Whether one more request may be routed to this shard."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self.opened_at >= self.reset_timeout:
+                self.state = HALF_OPEN
+                self._probe_inflight = False
+            else:
+                return False
+        # Half-open: admit a single probe at a time.
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = CLOSED
+        self._probe_inflight = False
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = OPEN
+            self.opened_at = now
+            self.open_events += 1
+            self._probe_inflight = False
+
+    def trip(self, now: float) -> None:
+        """Force the breaker open (used when the shard's process dies)."""
+        self.consecutive_failures = max(
+            self.consecutive_failures, self.failure_threshold
+        )
+        if self.state != OPEN:
+            self.state = OPEN
+            self.open_events += 1
+        self.opened_at = now
+        self._probe_inflight = False
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "open_events": self.open_events,
+        }

@@ -961,6 +961,103 @@ class TestAsyncDiscipline:
 # suppression hygiene
 # ---------------------------------------------------------------------------
 
+class TestRetryDiscipline:
+    def test_flags_unbounded_send_loop_and_blind_retry(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/pump.py": """\
+                def pump(queue, item):
+                    while True:
+                        queue.put(item)
+
+                def retry_request(queue, item):
+                    queue.put(item)
+                """
+            },
+            select=["retry-discipline"],
+        )
+        assert rules_of(findings) == [
+            "retry-discipline",
+            "retry-discipline",
+        ]
+        assert "while True" in findings[0].message
+        assert "retry_request" in findings[1].message
+
+    def test_clean_bounded_deadline_aware_retry(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/pump.py": """\
+                import time
+
+                def pump(queue, items):
+                    while True:
+                        if not items:
+                            return
+                        queue.put(items.pop())
+
+                def retry_request(queue, item, attempt, deadline):
+                    if attempt >= 3 or time.monotonic() >= deadline:
+                        raise TimeoutError(item)
+                    queue.put(item)
+
+                def resubmit(queue, item):
+                    # Delegates bounding to the retry helper.
+                    retry_request(queue, item, 0, item.deadline)
+                """
+            },
+            select=["retry-discipline"],
+        )
+        assert findings == []
+
+    def test_nested_def_exit_does_not_unflag_the_loop(self, tmp_path):
+        # A return inside a nested function cannot terminate the
+        # enclosing while True; the loop is still unbounded.
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/pump.py": """\
+                def pump(queue, item):
+                    while True:
+                        def once():
+                            return queue.put(item)
+                        once()
+                """
+            },
+            select=["retry-discipline"],
+        )
+        assert rules_of(findings) == ["retry-discipline"]
+
+    def test_outside_serving_package_is_exempt(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/core/pump.py": """\
+                def retry_request(queue, item):
+                    while True:
+                        queue.put(item)
+                """
+            },
+            select=["retry-discipline"],
+        )
+        assert findings == []
+
+    def test_suppressed_with_reason(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/pump.py": """\
+                def retry_once(pairs):  # repro: allow[retry-discipline] -- one-shot fallback, no loop
+                    for queue, item in pairs:
+                        queue.put(item)
+                """
+            },
+            select=["retry-discipline"],
+        )
+        assert findings == []
+
+
 class TestSuppressionHygiene:
     def test_reasonless_allow_is_flagged_and_does_not_suppress(self, tmp_path):
         findings = lint_tree(

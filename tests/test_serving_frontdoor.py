@@ -235,6 +235,36 @@ class TestDegradation:
         assert served.version == version > first.version
         assert door.stats.degraded_cache_hits == 0
 
+    def test_degraded_cache_survives_respawn_only_on_version_match(self):
+        # A respawned backend re-attaches at the journal-replayed
+        # version.  If that matches the entry's stamp the cached
+        # degraded answer is still valid; if the backend came back at
+        # a newer version (updates landed while it was down), the
+        # entry must be evicted, never served.
+        backend = SlowBackend(0.0)
+        door = AsyncFrontDoor(backend)
+        dummy = PPRResult(
+            estimate=np.zeros(4),
+            residue=None,
+            source=3,
+            alpha=0.2,
+            method="dummy",
+        )
+        entry = ServedResult(
+            result=dummy, version=0, cache_hit=False, batch_size=1,
+            degraded=True,
+        )
+        door._degraded_cache[3] = entry
+
+        assert backend.graph_version == 0
+        assert door._degraded_hit(3) is entry
+        assert door.stats.degraded_cache_hits == 1
+
+        backend.graph_version = 1  # respawn landed on a newer version
+        assert door._degraded_hit(3) is None
+        assert 3 not in door._degraded_cache  # evicted, not retried
+        assert door.stats.degraded_cache_hits == 1
+
     def test_periodic_probe_keeps_the_predictor_live(self, server):
         door = _overloaded_door(server)
 

@@ -181,6 +181,57 @@ class TestUpdates:
                     == expected.estimate.tobytes()
                 )
 
+    def test_barrier_settles_when_a_shard_is_killed_mid_broadcast(
+        self, base
+    ):
+        # Regression (PR 9): a worker dying between receiving the
+        # update and acking it used to leave the barrier waiting on a
+        # corpse until the update timeout.  The barrier must settle on
+        # the survivors' version agreement instead.  SIGSTOP first so
+        # the victim is guaranteed to be holding an unacked barrier
+        # message when SIGKILL lands.
+        updates = pick_updates(base)
+        with ShardedDispatcher(
+            DynamicGraph(base),
+            workers=3,
+            alpha=0.2,
+            seed=7,
+            max_restarts=0,
+        ) as disp:
+            disp.batch(list(range(6)), "powerpush", **PARAMS)
+            victim = disp._states[0].process
+            os.kill(victim.pid, signal.SIGSTOP)
+            outcome: dict = {}
+            done = threading.Event()
+
+            def apply():
+                try:
+                    outcome["version"] = disp.apply_updates(updates)
+                except BaseException as exc:  # noqa: BLE001 - recorded
+                    outcome["error"] = exc
+                finally:
+                    done.set()
+
+            thread = threading.Thread(target=apply, daemon=True)
+            thread.start()
+            time.sleep(0.3)  # broadcast sent; victim's ack wedged
+            assert not done.is_set()
+            os.kill(victim.pid, signal.SIGKILL)
+            assert done.wait(20), "barrier hung on the dead shard"
+            thread.join(timeout=5)
+            assert outcome.get("version") == len(updates), outcome
+            assert disp.graph_version == len(updates)
+            # Survivors keep serving post-update answers.
+            reference = PPREngine(DynamicGraph(base), alpha=0.2, seed=7)
+            reference.apply_updates(updates)
+            served = disp.query(1, "powerpush", **PARAMS)
+            assert served.version == len(updates)
+            expected = reference.query(1, "powerpush", **PARAMS)
+            assert (
+                served.result.estimate.tobytes()
+                == expected.estimate.tobytes()
+            )
+
     def test_barrier_ordering_under_concurrent_reads(self, base):
         updates = pick_updates(base)
         sources = (1, 2, 7)
@@ -232,7 +283,13 @@ class TestUpdates:
 
 class TestCrashRecovery:
     def test_killed_worker_reroutes_without_hangs(self, base):
-        with ShardedDispatcher(base, workers=2, alpha=0.2, seed=7) as disp:
+        # max_restarts=0 opts out of supervision: this is the
+        # capacity-only-shrinks regression path (a dead worker must be
+        # removed and rerouted around, never hung on), kept alongside
+        # the respawn tests in test_serving_supervisor.py.
+        with ShardedDispatcher(
+            base, workers=2, alpha=0.2, seed=7, max_restarts=0
+        ) as disp:
             sources = list(range(24))
             disp.batch(sources, "powerpush", **PARAMS)  # all shards warm
 
@@ -258,6 +315,11 @@ class TestCrashRecovery:
             stats = disp.stats()
             assert stats["worker_failures"] == 1
             assert len(stats["per_worker"]) == 1
+            # Budget 0 means the loss is permanent and reported as
+            # degraded capacity, not retried into a crash loop.
+            assert stats["supervisor"]["respawns"] == 0
+            assert stats["supervisor"]["degraded_capacity"] is True
+            assert stats["supervisor"]["removed"] == [0]
 
 
 class TestTeardown:
