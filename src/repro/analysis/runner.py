@@ -17,6 +17,7 @@ from typing import Iterable, Sequence, TextIO
 from repro.analysis import (  # noqa: F401  (imported for registration)
     checks_backends,
     checks_determinism,
+    checks_durability,
     checks_serving,
     reporters,
 )

@@ -88,6 +88,7 @@ from repro.core.incremental import IncrementalPPR
 from repro.core.result import PPRResult
 from repro.core.topk import TopKResult, top_k_ppr
 from repro.core.validation import check_source
+from repro.durability.atomic import atomic_write_json
 from repro.errors import IndexMismatchError, ParameterError
 from repro.graph.digraph import DiGraph
 from repro.graph.dynamic import DynamicGraph
@@ -159,7 +160,17 @@ def validate_incremental_params(params: Mapping[str, Any]) -> None:
 
 #: File name of the index-persistence manifest written by save_indexes.
 _MANIFEST_NAME = "manifest.json"
-_MANIFEST_FORMAT = 1
+# Format 2 added per-artifact SHA-256 checksums (load_indexes refuses
+# truncated or bit-rotted index files instead of trusting stamps).
+_MANIFEST_FORMAT = 2
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def _graph_fingerprint(graph: DiGraph) -> str:
@@ -340,6 +351,8 @@ class PPREngine:
         #: trackers, stats, counter) so concurrent queries are safe;
         #: re-entrant because index accessors nest under query().
         self._lock = threading.RLock()
+        #: optional DurabilityManager flushed before apply_updates acks
+        self._durability: Any | None = None
 
     @classmethod
     def from_shared_graph(
@@ -347,6 +360,7 @@ class PPREngine:
         image_or_handle: "SharedGraphImage | SharedGraphHandle",
         *,
         dynamic: bool = False,
+        initial_version: int = 0,
         **engine_kwargs: Any,
     ) -> "PPREngine":
         """Build an engine over a shared-memory graph image.
@@ -390,7 +404,16 @@ class PPREngine:
             )
         graph: DiGraph | DynamicGraph = image.graph()
         if dynamic:
-            graph = DynamicGraph(graph)
+            # A nonzero initial_version means the shared base is a
+            # recovered snapshot: version numbering (and therefore
+            # cache invalidation and update-barrier agreement) must
+            # continue from where the durable state left off.
+            graph = DynamicGraph(graph, initial_version=initial_version)
+        elif initial_version:
+            raise ParameterError(
+                "initial_version requires dynamic=True (a static shared "
+                "graph has no version counter to restore)"
+            )
         engine = cls(graph, **engine_kwargs)
         engine._shared_image = image
         return engine
@@ -448,11 +471,44 @@ class PPREngine:
             )
         with self._lock:
             version = self._dynamic.apply_updates(updates)
+            if self._durability is not None:
+                # fsync-before-ack: the batch must be durable in the
+                # WAL before any caller sees its version.
+                self._durability.flush()
             if not self._trackers:
                 # No tracker will ever replay these entries (a future
                 # track() starts from the then-current version).
                 self._dynamic.trim_journal(version)
             return version
+
+    def attach_durability(self, manager: Any) -> None:
+        """Make ``apply_updates`` durable: flush ``manager``'s WAL
+        before returning the acknowledged version.
+
+        ``manager`` is a
+        :class:`~repro.durability.manager.DurabilityManager` already
+        attached (via bootstrap or recovery) to this engine's
+        :class:`DynamicGraph`; it is duck-typed here to keep
+        :mod:`repro.api` import-light.  The manager is also pointed
+        back at this engine so checkpoints persist the built indexes.
+        """
+        if self._dynamic is None:
+            raise ParameterError(
+                "durability needs a DynamicGraph-backed engine"
+            )
+        if getattr(manager, "graph", None) is not self._dynamic:
+            raise ParameterError(
+                "the DurabilityManager must be attached to this engine's "
+                "own DynamicGraph (bootstrap or recover it first)"
+            )
+        with self._lock:
+            self._durability = manager
+            manager.attach_engine(self)
+
+    @property
+    def durability(self) -> Any | None:
+        """The attached DurabilityManager, or None when volatile."""
+        return self._durability
 
     def track(
         self, source: int, *, l1_threshold: float = 1e-8
@@ -975,12 +1031,25 @@ class PPREngine:
         indexes: list[dict[str, Any]] = []
         if walk_index is not None:
             save_walk_index(walk_index, directory / "walk.npz")
-            indexes.append({"kind": "walk", "file": "walk.npz"})
+            indexes.append(
+                {
+                    "kind": "walk",
+                    "file": "walk.npz",
+                    "sha256": _sha256_file(directory / "walk.npz"),
+                    "bytes": (directory / "walk.npz").stat().st_size,
+                }
+            )
         for built_w, index, _version in fora_indexes:
             file_name = f"fora_w{built_w}.npz"
             save_walk_index(index, directory / file_name)
             indexes.append(
-                {"kind": "fora", "file": file_name, "walk_budget": built_w}
+                {
+                    "kind": "fora",
+                    "file": file_name,
+                    "walk_budget": built_w,
+                    "sha256": _sha256_file(directory / file_name),
+                    "bytes": (directory / file_name).stat().st_size,
+                }
             )
         manifest = {
             "format": _MANIFEST_FORMAT,
@@ -996,7 +1065,10 @@ class PPREngine:
             "indexes": indexes,
         }
         manifest_path = directory / _MANIFEST_NAME
-        manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+        # Atomic + fsynced: a crash mid-save leaves either no manifest
+        # (the directory is ignored) or a complete one whose checksums
+        # vouch for every artefact it names.
+        atomic_write_json(manifest_path, manifest)
         return manifest_path
 
     def load_indexes(self, directory: str | Path) -> int:
@@ -1044,6 +1116,7 @@ class PPREngine:
             cached_budgets = {built_w for built_w, _, _ in self._fora_indexes}
             loaded = 0
             for entry in manifest["indexes"]:
+                self._verify_index_artifact(directory, entry)
                 if entry["kind"] == "walk":
                     index = load_walk_index(directory / entry["file"])
                     index.check_graph(graph)
@@ -1065,6 +1138,41 @@ class PPREngine:
                     )
                 loaded += 1
             return loaded
+
+    @staticmethod
+    def _verify_index_artifact(
+        directory: Path, entry: Mapping[str, Any]
+    ) -> None:
+        """Refuse a truncated or corrupted index file before loading it.
+
+        The manifest's per-artifact size and SHA-256 are the source of
+        truth: a crash that tore the ``.npz`` short, or silent bit
+        rot, surfaces as a typed
+        :class:`~repro.errors.IndexMismatchError` here instead of a
+        numpy traceback (or a quietly wrong index) downstream.
+        """
+        path = directory / str(entry["file"])
+        if not path.is_file():
+            raise IndexMismatchError(
+                f"index artefact {entry['file']!r} named by the manifest "
+                f"is missing from {directory}"
+            )
+        expected_bytes = entry.get("bytes")
+        if expected_bytes is not None and path.stat().st_size != expected_bytes:
+            raise IndexMismatchError(
+                f"index artefact {entry['file']!r} is "
+                f"{path.stat().st_size} bytes but the manifest recorded "
+                f"{expected_bytes} — truncated or partially written file"
+            )
+        expected_sha = entry.get("sha256")
+        if expected_sha is not None:
+            actual = _sha256_file(path)
+            if actual != expected_sha:
+                raise IndexMismatchError(
+                    f"index artefact {entry['file']!r} failed its SHA-256 "
+                    f"check (manifest {expected_sha[:12]}…, file "
+                    f"{actual[:12]}…) — refusing corrupt index data"
+                )
 
     # -- internals -------------------------------------------------------
     def _query_incremental(

@@ -57,6 +57,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import Any
 
 from repro.api import PPREngine, resolve_method, solver_specs
 from repro.api.engine import (
@@ -263,6 +264,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-shard respawn budget after crashes (sharded mode; "
         "0 disables supervision, default: dispatcher's policy)",
+    )
+    serve.add_argument(
+        "--wal-dir",
+        type=Path,
+        default=None,
+        help="durable state directory: edge updates are written to a "
+        "fsynced write-ahead log before the ack and recovered from "
+        "checkpoint + WAL replay on restart",
+    )
+    serve.add_argument(
+        "--no-wal-fsync",
+        action="store_true",
+        help="skip per-record fsync on the WAL (faster, loses the "
+        "power-failure guarantee; crash-safe against process death only)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="emit a durable checkpoint every N applied updates "
+        "(default: checkpoint only on compaction/demand)",
     )
 
     loadtest = sub.add_parser(
@@ -560,6 +582,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import AsyncFrontDoor, EngineServer, ShardedDispatcher
 
     dynamic = DynamicGraph(load_dataset(args.dataset))
+    durable_kwargs: dict[str, Any] = {}
+    if args.wal_dir is not None:
+        durable_kwargs = {
+            "wal_dir": args.wal_dir,
+            "wal_fsync": not args.no_wal_fsync,
+            "checkpoint_every": args.checkpoint_every,
+        }
     if args.workers:
         server: EngineServer | ShardedDispatcher = ShardedDispatcher(
             dynamic,
@@ -571,6 +600,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_capacity=args.cache_capacity,
             cache_ttl=args.cache_ttl,
             max_restarts=args.max_restarts,
+            **durable_kwargs,
         )
         mode = f"{args.workers} shard processes, shared-memory graph"
     else:
@@ -582,8 +612,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             cache_capacity=args.cache_capacity,
             cache_ttl=args.cache_ttl,
+            **durable_kwargs,
         )
         mode = "in-process threads"
+    if args.wal_dir is not None:
+        recovered = server.graph_version
+        fsync_note = "fsync off" if args.no_wal_fsync else "fsync on"
+        mode += f", durable wal={args.wal_dir} ({fsync_note})"
+        if recovered:
+            print(
+                f"recovered durable state at version {recovered} "
+                f"from {args.wal_dir}"
+            )
     door: AsyncFrontDoor | None = None
     if args.slo_ms is not None or args.deadline_ms is not None:
         door = AsyncFrontDoor(

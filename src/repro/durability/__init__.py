@@ -1,0 +1,53 @@
+"""Crash-consistent persistence for dynamic graphs and serving.
+
+The durability layer has four pieces, one per module:
+
+* :mod:`~repro.durability.atomic` — crash-atomic file replacement
+  (tmp + fsync + ``os.replace`` + dir fsync), the only sanctioned way
+  to write persistent artefacts (enforced by the
+  ``durability-discipline`` lint rule);
+* :mod:`~repro.durability.wal` — a CRC32C-framed, segmented
+  write-ahead log of ``apply_updates`` batches, fsynced before the
+  version ack, healing torn tails and refusing mid-log corruption;
+* :mod:`~repro.durability.checkpoint` — atomic directory checkpoints
+  of the :class:`~repro.graph.dynamic.DynamicGraph` snapshot (+ saved
+  engine indexes) recording the WAL position they cover;
+* :mod:`~repro.durability.manager` — the orchestrator: recovery =
+  latest checkpoint + WAL-suffix replay, verified against the log
+  head; plus :mod:`~repro.durability.crash`, the whole-process crash
+  harness that proves it.
+
+Entry point for most callers::
+
+    manager, graph = open_durable_graph(path, base_graph)
+    ...
+    graph.apply_updates(batch)
+    manager.flush()        # fsynced before you ack the version
+"""
+
+from .atomic import atomic_write_bytes, atomic_write_json, atomic_write_text, fsync_dir
+from .checkpoint import CheckpointInfo, CheckpointStore, graph_fingerprint
+from .crash import CRASH_POINTS, CrashSchedule, HarnessConfig, run_crash_harness, torn_tail_sweep
+from .manager import DurabilityManager, open_durable_graph
+from .wal import WalPosition, WalRecord, WriteAheadLog, crc32c
+
+__all__ = [
+    "CRASH_POINTS",
+    "CheckpointInfo",
+    "CheckpointStore",
+    "CrashSchedule",
+    "DurabilityManager",
+    "HarnessConfig",
+    "WalPosition",
+    "WalRecord",
+    "WriteAheadLog",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "crc32c",
+    "fsync_dir",
+    "graph_fingerprint",
+    "open_durable_graph",
+    "run_crash_harness",
+    "torn_tail_sweep",
+]

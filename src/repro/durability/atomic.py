@@ -1,0 +1,92 @@
+"""Crash-atomic file writes: tmp + fsync + ``os.replace`` + dir fsync.
+
+Every persistent artefact in this project (index manifests, loadtest
+reports, benchmark payloads, WAL checkpoints) must reach disk through
+these helpers.  A bare ``path.write_text(...)`` can be interrupted
+half-way, leaving a truncated file that downstream readers choke on;
+the sequence here guarantees that at every instant the destination
+path either holds the complete old contents or the complete new
+contents:
+
+1. write the payload to a temporary file *in the destination
+   directory* (same filesystem, so the rename is atomic),
+2. flush and ``os.fsync`` the temporary file (contents durable),
+3. ``os.replace`` it over the destination (atomic on POSIX),
+4. ``os.fsync`` the directory (the rename itself durable).
+
+The ``durability-discipline`` lint rule (see
+:mod:`repro.analysis.checks_durability`) enforces that modules in the
+persistence-bearing packages do not bypass this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json", "fsync_dir"]
+
+
+def fsync_dir(directory: str | Path) -> None:
+    """fsync a directory so renames/creates inside it are durable.
+
+    Silently skips platforms whose filesystems refuse ``open`` on
+    directories (notably Windows); on POSIX this is the step that
+    makes an ``os.replace`` survive power loss.
+    """
+    try:
+        fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX platforms
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, *, fsync: bool = True) -> Path:
+    """Atomically replace ``path`` with ``data``.
+
+    ``fsync=False`` keeps the write atomic against *process* crashes
+    (readers never observe a partial file) but skips the durability
+    syncs — useful for throwaway artefacts and benchmarks measuring
+    the fsync delta.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_dir(path.parent)
+    return path
+
+
+def atomic_write_text(
+    path: str | Path, text: str, *, encoding: str = "utf-8", fsync: bool = True
+) -> Path:
+    """Atomically replace ``path`` with ``text``."""
+    return atomic_write_bytes(path, text.encode(encoding), fsync=fsync)
+
+
+def atomic_write_json(
+    path: str | Path, payload: Any, *, indent: int | None = 2, fsync: bool = True
+) -> Path:
+    """Atomically replace ``path`` with ``payload`` serialised as JSON."""
+    text = json.dumps(payload, indent=indent, sort_keys=False)
+    return atomic_write_text(path, text + "\n", fsync=fsync)

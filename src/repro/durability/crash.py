@@ -1,0 +1,446 @@
+"""Whole-process crash harness for the durability layer.
+
+:mod:`repro.serving.faults` injects faults *inside* a live serving
+tier (killed workers, dropped replies); this module extends that
+discipline to the failure the supervision tree cannot absorb — the
+death of the serving process itself.  A :class:`CrashSchedule` is
+threaded through :class:`~repro.durability.manager.DurabilityManager`
+into the WAL and checkpoint store and ``os._exit``\\ s the process at a
+named protocol point (the schedule-driven analogue of SIGKILL:
+no atexit handlers, no flushes, nothing graceful):
+
+* ``wal-pre-append``   — before the batch reaches the log (the ack
+  never happened; recovery must *not* see the batch);
+* ``wal-mid-append``   — half the frame is written (a real torn tail;
+  recovery must truncate it);
+* ``wal-post-append``  — durable but not yet acknowledged (recovery
+  may legitimately be *ahead* of the last ack, never behind);
+* ``checkpoint-pre-rename`` / ``checkpoint-post-rename`` /
+  ``checkpoint-post-pointer`` — the three windows of the atomic
+  checkpoint dance.
+
+:func:`run_crash_harness` runs a victim
+:class:`~repro.serving.server.EngineServer` under each schedule in a
+forked child, lets it die, then recovers in the parent and verifies
+the contract: recovered version ≥ last acknowledged version, equal to
+the WAL head, and answers byte-identical to an uninterrupted reference
+run (the ``per_source_rng`` purity contract makes equality exact, not
+approximate).  :func:`torn_tail_sweep` complements the schedules with
+exhaustive torn-write simulation: the WAL's final record is truncated
+at *every* byte offset and each truncation must recover cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import struct
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from ..generators.rmat import rmat_digraph
+from ..graph.dynamic import DynamicGraph, sample_edge_update
+from .manager import open_durable_graph
+
+__all__ = [
+    "CRASH_POINTS",
+    "CrashSchedule",
+    "HarnessConfig",
+    "run_crash_harness",
+    "scripted_updates",
+    "torn_tail_sweep",
+]
+
+#: Protocol points a :class:`CrashSchedule` can target.
+CRASH_POINTS = frozenset(
+    {
+        "wal-pre-append",
+        "wal-mid-append",
+        "wal-post-append",
+        "checkpoint-pre-rename",
+        "checkpoint-post-rename",
+        "checkpoint-post-pointer",
+    }
+)
+
+#: Exit status of a schedule-driven crash (SIGKILL's 128+9, so logs
+#: read like a real kill -9).
+CRASH_EXIT_CODE = 137
+
+
+@dataclass
+class CrashSchedule:
+    """Die at occurrence ``at`` (0-based) of protocol point ``point``.
+
+    Implements the ``CrashHook`` protocol consumed by the WAL and the
+    checkpoint store.  ``point=None`` never fires (a convenient
+    no-fault sentinel).
+    """
+
+    point: str | None
+    at: int = 0
+    exit_code: int = CRASH_EXIT_CODE
+    _counts: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.point is not None and self.point not in CRASH_POINTS:
+            raise ReproError(
+                f"unknown crash point {self.point!r}; expected one of "
+                f"{sorted(CRASH_POINTS)}"
+            )
+
+    def should(self, point: str) -> bool:
+        if point != self.point:
+            return False
+        ordinal = self._counts.get(point, 0)
+        self._counts[point] = ordinal + 1
+        return ordinal == self.at
+
+    def crash(self, point: str) -> None:
+        # The whole point: no flushes, no cleanup, no goodbye — the
+        # durability layer must not depend on any of them.
+        sys.stderr.flush()
+        os._exit(self.exit_code)
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Deterministic victim workload (all sizes smoke-scale)."""
+
+    scale: int = 7
+    edges: int = 500
+    graph_seed: int = 29
+    update_seed: int = 41
+    batches: int = 8
+    batch_size: int = 4
+    checkpoint_every: int | None = 12
+    alpha: float = 0.2
+    engine_seed: int = 11
+    query_sources: tuple[int, ...] = (0, 3, 17)
+    epsilon: float = 0.5
+
+
+def _base_graph(config: HarnessConfig):
+    return rmat_digraph(
+        config.scale,
+        config.edges,
+        rng=np.random.default_rng(config.graph_seed),
+        name="crash-harness",
+    )
+
+
+def scripted_updates(config: HarnessConfig) -> list[tuple[str, int, int]]:
+    """The deterministic update stream both victim and reference apply.
+
+    One mutation per version: update ``i`` (0-based) moves the graph
+    from version ``i`` to ``i + 1``, so "recovered version V" means
+    exactly ``updates[:V]`` were applied.
+    """
+    scratch = DynamicGraph(_base_graph(config))
+    rng = np.random.default_rng(config.update_seed)
+    updates: list[tuple[str, int, int]] = []
+    for _ in range(config.batches * config.batch_size):
+        update = sample_edge_update(scratch, rng)
+        scratch.apply_updates([update])
+        updates.append(update)
+    return updates
+
+
+def _reference_answers(
+    config: HarnessConfig, version: int
+) -> dict[int, np.ndarray]:
+    """Uninterrupted run to ``version``: apply, compact, query."""
+    from ..api.engine import PPREngine
+
+    graph = DynamicGraph(_base_graph(config))
+    graph.apply_updates(scripted_updates(config)[:version])
+    engine = PPREngine(graph, alpha=config.alpha, seed=config.engine_seed)
+    return {
+        source: engine.query(
+            source, method="speedppr", epsilon=config.epsilon, seed=5
+        ).estimate
+        for source in config.query_sources
+    }
+
+
+def _victim_main(
+    wal_dir: str, point: str, at: int, config: HarnessConfig, acks_path: str
+) -> None:
+    """Child body: serve scripted updates until the schedule kills us.
+
+    Every acknowledged version is appended + fsynced to ``acks_path``
+    so the parent knows the exact durability floor the recovery must
+    respect.  Runs through a real :class:`EngineServer` so the ack
+    being tested is the one production callers see.
+    """
+    from ..serving.server import EngineServer
+
+    schedule = CrashSchedule(point, at=at)
+    manager, graph = open_durable_graph(
+        wal_dir,
+        DynamicGraph(_base_graph(config)),
+        checkpoint_every=config.checkpoint_every,
+        crash_hook=schedule,
+    )
+    server = EngineServer(
+        graph,
+        alpha=config.alpha,
+        seed=config.engine_seed,
+        durability=manager,
+    )
+    updates = scripted_updates(config)
+    with open(acks_path, "ab", buffering=0) as acks:
+        for start in range(0, len(updates), config.batch_size):
+            batch = updates[start : start + config.batch_size]
+            version = server.apply_updates(batch)
+            acks.write(f"{version}\n".encode("ascii"))
+            os.fsync(acks.fileno())
+    server.close()
+    os._exit(0)
+
+
+def _last_ack(acks_path: Path) -> int:
+    if not acks_path.exists():
+        return 0
+    lines = [line for line in acks_path.read_bytes().splitlines() if line.strip()]
+    return int(lines[-1]) if lines else 0
+
+
+def default_kill_schedule(config: HarnessConfig) -> list[tuple[str, int]]:
+    """One schedule per crash point, timed to fire mid-workload.
+
+    WAL points target a mid-run append; checkpoint points use ordinal
+    1 — ordinal 0 is the bootstrap checkpoint, which is covered too
+    (dying during bootstrap must leave a recoverable-or-virgin
+    directory), so both ordinals appear for the pre-rename window.
+    """
+    mid = max(1, config.batches // 2)
+    return [
+        ("wal-pre-append", mid),
+        ("wal-mid-append", mid),
+        ("wal-post-append", mid),
+        ("checkpoint-pre-rename", 0),
+        ("checkpoint-pre-rename", 1),
+        ("checkpoint-post-rename", 1),
+        ("checkpoint-post-pointer", 1),
+    ]
+
+
+def run_crash_harness(
+    config: HarnessConfig | None = None,
+    *,
+    schedules: Sequence[tuple[str, int]] | None = None,
+    workdir: str | Path | None = None,
+) -> dict:
+    """SIGKILL-equivalent crashes at every scheduled point, then recover.
+
+    For each ``(point, ordinal)`` schedule a forked victim server runs
+    the scripted workload until the schedule kills it; the parent then
+    recovers the directory cold and checks, per the acceptance
+    contract:
+
+    * recovered version ≥ last acknowledged version (nothing acked is
+      lost) and == the WAL head (nothing durable is dropped),
+    * answers at the recovered version are byte-identical to an
+      uninterrupted run (``per_source_rng`` purity),
+    * a second recovery of the same directory is idempotent.
+
+    Returns a metrics dict (per-point results, recovery timings,
+    replayed record counts); raises nothing on gate failure — callers
+    inspect ``result["ok"]`` so benchmarks can report before exiting
+    nonzero.
+    """
+    from multiprocessing import get_context
+
+    from ..api.engine import PPREngine
+
+    config = config or HarnessConfig()
+    schedules = list(schedules or default_kill_schedule(config))
+    context = get_context("fork")
+    own_workdir = workdir is None
+    root = Path(workdir) if workdir is not None else Path(tempfile.mkdtemp(prefix="crash-harness-"))
+    root.mkdir(parents=True, exist_ok=True)
+    results = []
+    reference_cache: dict[int, dict[int, np.ndarray]] = {}
+    for index, (point, at) in enumerate(schedules):
+        case_dir = root / f"case-{index:02d}-{point}-{at}"
+        wal_dir = case_dir / "durable"
+        acks_path = case_dir / "acks.txt"
+        case_dir.mkdir(parents=True)
+        child = context.Process(
+            target=_victim_main,
+            args=(str(wal_dir), point, at, config, str(acks_path)),
+        )
+        child.start()
+        child.join(timeout=120)
+        if child.is_alive():  # pragma: no cover - hang guard
+            child.kill()
+            child.join()
+        exitcode = child.exitcode
+        acked = _last_ack(acks_path)
+        started = time.perf_counter()
+        manager, graph = open_durable_graph(
+            wal_dir, DynamicGraph(_base_graph(config)), checkpoint_every=None
+        )
+        recovery_seconds = time.perf_counter() - started
+        recovered = graph.version
+        replayed = manager.replayed_records
+        wal_head = manager.wal.head_version
+        manager.close()
+        # Idempotence: recovering the same directory again lands on
+        # the same version.
+        manager2, graph2 = open_durable_graph(wal_dir)
+        second = graph2.version
+        manager2.close()
+        version = recovered
+        if version not in reference_cache:
+            reference_cache[version] = _reference_answers(config, version)
+        expected = reference_cache[version]
+        engine = PPREngine(
+            _recovered_graph(wal_dir),
+            alpha=config.alpha,
+            seed=config.engine_seed,
+        )
+        identical = all(
+            np.array_equal(
+                engine.query(
+                    source, method="speedppr", epsilon=config.epsilon, seed=5
+                ).estimate,
+                expected[source],
+            )
+            for source in config.query_sources
+        )
+        ok = (
+            exitcode in (0, CRASH_EXIT_CODE)
+            and recovered >= acked
+            and (wal_head is None or recovered == wal_head)
+            and second == recovered
+            and identical
+        )
+        results.append(
+            {
+                "point": point,
+                "at": at,
+                "exitcode": exitcode,
+                "acked_version": acked,
+                "recovered_version": recovered,
+                "wal_head_version": wal_head,
+                "replayed_records": replayed,
+                "recovery_seconds": recovery_seconds,
+                "byte_identical": identical,
+                "ok": ok,
+            }
+        )
+    if own_workdir:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "cases": results,
+        "ok": all(case["ok"] for case in results),
+        "total_replayed_records": sum(c["replayed_records"] for c in results),
+        "max_recovery_seconds": max(c["recovery_seconds"] for c in results),
+    }
+
+
+def _recovered_graph(wal_dir: Path) -> DynamicGraph:
+    manager, graph = open_durable_graph(wal_dir)
+    manager.close()
+    return graph
+
+
+def _last_frame_extent(segment: Path) -> tuple[int, int] | None:
+    """(start offset, frame length) of the final record, or None."""
+    data = segment.read_bytes()
+    header = struct.Struct("<II")
+    pos = 0
+    last: tuple[int, int] | None = None
+    while pos + header.size <= len(data):
+        length, _crc = header.unpack_from(data, pos)
+        end = pos + header.size + length
+        if end > len(data):
+            break
+        last = (pos, header.size + length)
+        pos = end
+    return last
+
+
+def torn_tail_sweep(
+    config: HarnessConfig | None = None, *, workdir: str | Path | None = None
+) -> dict:
+    """Truncate the WAL at every byte offset of its final record.
+
+    Builds an uninterrupted durable run, then for each truncation
+    length ``0 < k < frame bytes`` copies the state, chops the active
+    segment to ``start + k``, and recovers: every cut must yield the
+    pre-final version with a CSR byte-identical to the reference, and
+    the log must accept a fresh append afterwards (the tail really was
+    healed, not just skipped).
+    """
+    config = config or HarnessConfig(batches=4, batch_size=3, checkpoint_every=None)
+    own_workdir = workdir is None
+    root = Path(workdir) if workdir is not None else Path(tempfile.mkdtemp(prefix="torn-tail-"))
+    root.mkdir(parents=True, exist_ok=True)
+    golden = root / "golden"
+    manager, graph = open_durable_graph(
+        golden, DynamicGraph(_base_graph(config)), checkpoint_every=None
+    )
+    updates = scripted_updates(config)
+    batches = [
+        updates[start : start + config.batch_size]
+        for start in range(0, len(updates), config.batch_size)
+    ]
+    for batch in batches:
+        graph.apply_updates(batch)
+        manager.flush()
+    manager.close()
+
+    pre_final_version = (len(batches) - 1) * config.batch_size
+    reference = DynamicGraph(_base_graph(config))
+    reference.apply_updates(updates[:pre_final_version])
+    ref_snap = reference.snapshot()
+
+    active = sorted((golden / "wal").glob("wal-*.log"))[-1]
+    extent = _last_frame_extent(active)
+    assert extent is not None, "sweep needs at least one full record"
+    start, frame_bytes = extent
+    offsets_ok = 0
+    failures: list[int] = []
+    for cut in range(1, frame_bytes):
+        case = root / f"cut-{cut:04d}"
+        shutil.copytree(golden, case)
+        segment = case / "wal" / active.name
+        with open(segment, "r+b") as handle:
+            handle.truncate(start + cut)
+        manager, recovered = open_durable_graph(case)
+        snap = recovered.snapshot()
+        healed = (
+            recovered.version == pre_final_version
+            and np.array_equal(snap.out_indptr, ref_snap.out_indptr)
+            and np.array_equal(snap.out_indices, ref_snap.out_indices)
+        )
+        # The healed log must remain writable: re-append the batch the
+        # torn write lost.
+        recovered.apply_updates(batches[-1])
+        manager.flush()
+        reappended = manager.wal.head_version == pre_final_version + config.batch_size
+        manager.close()
+        if healed and reappended:
+            offsets_ok += 1
+        else:  # pragma: no cover - failure accounting
+            failures.append(cut)
+        shutil.rmtree(case, ignore_errors=True)
+    if own_workdir:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "frame_bytes": frame_bytes,
+        "offsets_tested": frame_bytes - 1,
+        "offsets_ok": offsets_ok,
+        "failed_offsets": failures,
+        "ok": not failures,
+    }

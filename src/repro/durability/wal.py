@@ -1,0 +1,400 @@
+"""Write-ahead log for :class:`~repro.graph.dynamic.DynamicGraph` updates.
+
+Each acknowledged ``apply_updates`` batch becomes one *record*, framed
+as::
+
+    [u32 payload length][u32 CRC32C of payload][payload bytes]
+
+(little-endian header, CRC32C/Castagnoli over the payload only).  The
+payload is canonical JSON ``{"version": V, "updates": [[op, u, v],
+...]}`` where ``V`` is the graph version *after* the batch.  Records
+are appended to numbered segment files ``wal-<seq>.log`` and fsynced
+**before** the version is acknowledged to the caller, so the set of
+acknowledged batches is always a prefix of the log.
+
+Open-time scan semantics (the crash contract):
+
+* a partial frame at the very end of the **last** segment is a *torn
+  tail* — the signature of a crash mid-append.  It was never
+  acknowledged (fsync-before-ack), so it is truncated away and the log
+  stays writable;
+* a fully present frame whose CRC32C does not match, a partial frame
+  in a non-final segment, or non-contiguous record versions are
+  *mid-log corruption* and raise :class:`~repro.errors.WalCorruptionError`
+  — acknowledged history is damaged and silent repair would be a lie.
+
+Segments exist so checkpoints can prune durable history:
+:meth:`WriteAheadLog.rotate` seals the active segment and
+:meth:`WriteAheadLog.prune_upto` removes sealed segments once a
+checkpoint covering them is durable (see
+:mod:`repro.durability.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Protocol, Sequence
+
+from ..errors import WalCorruptionError
+
+__all__ = ["WalPosition", "WalRecord", "WriteAheadLog", "crc32c"]
+
+_HEADER = struct.Struct("<II")
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+# Sanity bound on a single record; a "longer" length field inside a
+# fully-present region can only come from corruption.
+_MAX_RECORD_BYTES = 1 << 30
+
+
+def _build_crc32c_table() -> tuple[int, ...]:
+    # Reflected CRC32C (Castagnoli), polynomial 0x1EDC6F41 -> 0x82F63B78.
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ 0x82F63B78 if crc & 1 else crc >> 1
+        table.append(crc)
+    return tuple(table)
+
+
+_CRC32C_TABLE = _build_crc32c_table()
+
+
+def crc32c(data: bytes, value: int = 0) -> int:
+    """CRC32C (Castagnoli) of ``data``; pure Python, table-driven.
+
+    ``crc32c(b"123456789") == 0xE3069283`` (the standard check value).
+    Distinct from :func:`zlib.crc32`, which uses the CRC32/ISO-HDLC
+    polynomial — the Castagnoli polynomial has better error-detection
+    properties for storage framing and matches what real WAL formats
+    (e.g. RocksDB, LevelDB) use.
+    """
+    crc = value ^ 0xFFFFFFFF
+    table = _CRC32C_TABLE
+    for byte in data:
+        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+class CrashHook(Protocol):  # pragma: no cover - typing only
+    """Fault-injection hook (see :mod:`repro.durability.crash`)."""
+
+    def should(self, point: str) -> bool:
+        """Consume one occurrence of ``point``; True when scheduled."""
+        ...
+
+    def crash(self, point: str) -> None:
+        """Kill the process immediately (``os._exit``); never returns."""
+        ...
+
+
+@dataclass(frozen=True)
+class WalPosition:
+    """A durable position in the log: ``offset`` bytes into ``segment``."""
+
+    segment: int
+    offset: int
+
+    def as_dict(self) -> dict[str, int]:
+        return {"segment": self.segment, "offset": self.offset}
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One acknowledged batch: graph ``version`` *after* ``updates``."""
+
+    version: int
+    updates: tuple[tuple[str, int, int], ...]
+    position: WalPosition
+
+
+def _encode_payload(version: int, updates: Sequence[tuple[str, int, int]]) -> bytes:
+    doc = {
+        "version": int(version),
+        "updates": [[op, int(u), int(v)] for op, u, v in updates],
+    }
+    return json.dumps(doc, separators=(",", ":"), sort_keys=True).encode("ascii")
+
+
+def _decode_payload(payload: bytes, *, context: str) -> tuple[int, tuple[tuple[str, int, int], ...]]:
+    try:
+        doc = json.loads(payload)
+        version = int(doc["version"])
+        updates = tuple((str(op), int(u), int(v)) for op, u, v in doc["updates"])
+    except (ValueError, KeyError, TypeError) as exc:
+        raise WalCorruptionError(
+            f"{context}: record payload passed CRC32C but is not a valid "
+            f"update batch ({exc})"
+        ) from exc
+    return version, updates
+
+
+class WriteAheadLog:
+    """Append-only, CRC32C-framed, segmented write-ahead log.
+
+    Parameters
+    ----------
+    directory:
+        Directory holding ``wal-<seq>.log`` segments (created if
+        missing).
+    fsync:
+        When True (the default, and the only crash-safe setting) every
+        append fsyncs the segment before returning.  ``fsync=False``
+        exists solely so benchmarks can measure the durability tax.
+    crash_hook:
+        Optional fault-injection hook fired at the named protocol
+        points (``wal-pre-append``, ``wal-mid-append``,
+        ``wal-post-append``); production code passes None.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        fsync: bool = True,
+        crash_hook: CrashHook | None = None,
+    ) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._fsync = bool(fsync)
+        self._crash_hook = crash_hook
+        self._head_version: int | None = None
+        self._record_count = 0
+        self._segments: list[int] = []
+        self._scan()
+        if not self._segments:
+            self._segments = [0]
+            self._segment_path(0).touch()
+            fsync_needed = True
+        else:
+            fsync_needed = False
+        self._active = self._segments[-1]
+        self._file = open(self._segment_path(self._active), "ab")
+        if fsync_needed and self._fsync:
+            from .atomic import fsync_dir
+
+            fsync_dir(self._dir)
+
+    # ------------------------------------------------------------------
+    # layout helpers
+
+    def _segment_path(self, seq: int) -> Path:
+        return self._dir / f"{_SEGMENT_PREFIX}{seq:08d}{_SEGMENT_SUFFIX}"
+
+    @staticmethod
+    def _segment_seq(path: Path) -> int | None:
+        name = path.name
+        if not (name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)):
+            return None
+        body = name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+        return int(body) if body.isdigit() else None
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    @property
+    def segments(self) -> tuple[int, ...]:
+        return tuple(self._segments)
+
+    @property
+    def head_version(self) -> int | None:
+        """Version of the last durable record, or None if empty."""
+        return self._head_version
+
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    @property
+    def position(self) -> WalPosition:
+        """Current append position (end of the active segment)."""
+        return WalPosition(self._active, self._segment_path(self._active).stat().st_size)
+
+    # ------------------------------------------------------------------
+    # open-time scan
+
+    def _scan(self) -> None:
+        seqs = sorted(
+            seq
+            for path in self._dir.iterdir()
+            if (seq := self._segment_seq(path)) is not None
+        )
+        self._segments = seqs
+        prev_version: int | None = None
+        for index, seq in enumerate(seqs):
+            final = index == len(seqs) - 1
+            prev_version = self._scan_segment(seq, final=final, prev_version=prev_version)
+        self._head_version = prev_version if self._record_count else None
+
+    def _scan_segment(
+        self, seq: int, *, final: bool, prev_version: int | None
+    ) -> int | None:
+        path = self._segment_path(seq)
+        data = path.read_bytes()
+        pos = 0
+        size = len(data)
+        while pos < size:
+            torn = False
+            if size - pos < _HEADER.size:
+                torn = True
+            else:
+                length, crc = _HEADER.unpack_from(data, pos)
+                if length > _MAX_RECORD_BYTES:
+                    # No legal append ever wrote this; a torn tail
+                    # truncates payload bytes, not the length field's
+                    # meaning.  Always corruption, even at the tail.
+                    raise WalCorruptionError(
+                        f"{path}: frame at offset {pos} declares {length} "
+                        f"payload bytes (cap {_MAX_RECORD_BYTES}) — corrupt "
+                        "length field"
+                    )
+                if pos + _HEADER.size + length > size:
+                    torn = True
+            if torn:
+                if not final:
+                    raise WalCorruptionError(
+                        f"{path}: partial frame at offset {pos} in a non-final "
+                        "segment — acknowledged history is damaged"
+                    )
+                # Torn tail: crash mid-append, never acknowledged.
+                with open(path, "r+b") as handle:
+                    handle.truncate(pos)
+                    if self._fsync:
+                        os.fsync(handle.fileno())
+                return prev_version
+            payload = data[pos + _HEADER.size : pos + _HEADER.size + length]
+            actual = crc32c(payload)
+            if actual != crc:
+                raise WalCorruptionError(
+                    f"{path}: CRC32C mismatch at offset {pos} "
+                    f"(stored {crc:#010x}, computed {actual:#010x}) — "
+                    "mid-log corruption, refusing to recover silently"
+                )
+            version, updates = _decode_payload(payload, context=f"{path} offset {pos}")
+            if prev_version is not None and version - len(updates) != prev_version:
+                raise WalCorruptionError(
+                    f"{path}: record at offset {pos} spans versions "
+                    f"{version - len(updates)}..{version} but the previous "
+                    f"record ended at {prev_version} — log is not contiguous"
+                )
+            prev_version = version
+            self._record_count += 1
+            pos += _HEADER.size + length
+        return prev_version
+
+    # ------------------------------------------------------------------
+    # append / read
+
+    def append(self, version: int, updates: Sequence[tuple[str, int, int]]) -> WalPosition:
+        """Frame, append, and (by default) fsync one batch; returns the
+        durable end position.  Callers must not acknowledge ``version``
+        before this returns."""
+        payload = _encode_payload(version, updates)
+        frame = _HEADER.pack(len(payload), crc32c(payload)) + payload
+        hook = self._crash_hook
+        if hook is not None and hook.should("wal-pre-append"):
+            hook.crash("wal-pre-append")
+        if hook is not None and hook.should("wal-mid-append"):
+            # Simulate a torn write: half the frame reaches the file,
+            # then the process dies.  Flush so the bytes are visible to
+            # the recovering process (same machine, page cache shared).
+            cut = max(1, len(frame) // 2)
+            self._file.write(frame[:cut])
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            hook.crash("wal-mid-append")
+        self._file.write(frame)
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
+        if hook is not None and hook.should("wal-post-append"):
+            # Durable but not yet acknowledged: recovery must still
+            # replay this record (fsync-before-ack admits "durable
+            # beyond the last ack", never the reverse).
+            hook.crash("wal-post-append")
+        self._head_version = int(version)
+        self._record_count += 1
+        return WalPosition(self._active, self._file.tell())
+
+    def replay(self, after_version: int | None = None) -> Iterator[WalRecord]:
+        """Yield records with ``version > after_version`` in log order.
+
+        Re-reads the segment files (the open-time scan already
+        validated framing, CRCs, and contiguity).
+        """
+        for seq in list(self._segments):
+            path = self._segment_path(seq)
+            data = path.read_bytes()
+            pos = 0
+            size = len(data)
+            while pos + _HEADER.size <= size:
+                length, _crc = _HEADER.unpack_from(data, pos)
+                end = pos + _HEADER.size + length
+                if end > size:
+                    break  # torn tail already truncated unless appended since
+                payload = data[pos + _HEADER.size : end]
+                version, updates = _decode_payload(
+                    payload, context=f"{path} offset {pos}"
+                )
+                if after_version is None or version > after_version:
+                    yield WalRecord(version, updates, WalPosition(seq, end))
+                pos = end
+
+    # ------------------------------------------------------------------
+    # segment lifecycle
+
+    def rotate(self) -> int:
+        """Seal the active segment and start a new one; returns the new
+        segment's sequence number."""
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
+        self._file.close()
+        self._active += 1
+        self._segments.append(self._active)
+        path = self._segment_path(self._active)
+        path.touch()
+        self._file = open(path, "ab")
+        if self._fsync:
+            from .atomic import fsync_dir
+
+            fsync_dir(self._dir)
+        return self._active
+
+    def prune_upto(self, segment: int) -> int:
+        """Delete sealed segments with sequence < ``segment``; returns
+        how many were removed.  Only call once a checkpoint covering
+        them is durable."""
+        removed = 0
+        keep = []
+        for seq in self._segments:
+            if seq < segment and seq != self._active:
+                self._segment_path(seq).unlink(missing_ok=True)
+                removed += 1
+            else:
+                keep.append(seq)
+        self._segments = keep
+        if removed and self._fsync:
+            from .atomic import fsync_dir
+
+            fsync_dir(self._dir)
+        return removed
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            if self._fsync:
+                os.fsync(self._file.fileno())
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

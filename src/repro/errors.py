@@ -80,6 +80,39 @@ class WorkerUnavailableError(ReproError):
     """
 
 
+class WalCorruptionError(ReproError):
+    """A write-ahead log contains an unrecoverable mid-log corruption.
+
+    Raised by :class:`~repro.durability.wal.WriteAheadLog` when a fully
+    present frame fails its CRC32C check, when a non-final segment ends
+    in a partial frame, or when record versions are not contiguous.  A
+    *torn tail* — a partial final frame at the end of the last segment,
+    the signature of a crash mid-append — is **not** this error: it is
+    silently truncated on open, because fsync-before-ack means the torn
+    record was never acknowledged.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or validated.
+
+    Raised by :class:`~repro.durability.checkpoint.CheckpointStore`
+    when a checkpoint directory is missing artefacts, fails checksum
+    or fingerprint validation, or its manifest is malformed.
+    """
+
+
+class RecoveryError(ReproError):
+    """Cold-restart recovery could not reach a consistent state.
+
+    Raised by :class:`~repro.durability.manager.DurabilityManager` when
+    the checkpoint + WAL-suffix replay does not reproduce the logged
+    head version, when a replayed record's version range does not abut
+    the recovered graph's version, or when durable state exists but is
+    incompatible with the requested graph.
+    """
+
+
 class UnknownMethodError(ReproError, KeyError):
     """A method name does not resolve to any registered solver.
 

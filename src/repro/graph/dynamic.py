@@ -82,20 +82,37 @@ class DynamicGraph:
         "_journal",
         "_journal_floor",
         "_snapshot_cache",
+        "_wal_hook",
     )
 
-    def __init__(self, base: DiGraph, *, name: str | None = None) -> None:
+    def __init__(
+        self,
+        base: DiGraph,
+        *,
+        name: str | None = None,
+        initial_version: int = 0,
+    ) -> None:
+        if initial_version < 0:
+            raise ParameterError(
+                f"initial_version must be >= 0, got {initial_version}"
+            )
         self._base = base
         self._name = base.name if name is None else name
-        self._version = 0
+        #: nonzero when restoring durable state: the base snapshot then
+        #: already reflects every mutation up to ``initial_version``
+        #: (cold-restart recovery; see :mod:`repro.durability`), and the
+        #: journal floor starts there because pre-restore entries are
+        #: gone — tracker consumers resync from the snapshot.
+        self._version = int(initial_version)
         #: per-source overlay sets; only touched sources get an entry
         self._inserts: dict[int, set[int]] = {}
         self._deletes: dict[int, set[int]] = {}
         self._num_inserts = 0
         self._num_deletes = 0
         self._journal: list[EdgeUpdate] = []
-        self._journal_floor = 0
+        self._journal_floor = int(initial_version)
         self._snapshot_cache: tuple[int, DiGraph] | None = None
+        self._wal_hook: object | None = None
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -380,7 +397,34 @@ class DynamicGraph:
         self._num_inserts = 0
         self._num_deletes = 0
         self._snapshot_cache = None
+        if self._wal_hook is not None:
+            # Compaction rebases the CSR; an attached durability layer
+            # must cover the rebase with a checkpoint so recovery never
+            # replays journal entries against the wrong base (see
+            # DurabilityManager.on_compact).
+            self._wal_hook.on_compact(self)  # type: ignore[attr-defined]
         return snap
+
+    # ------------------------------------------------------------------
+    # Durability hook
+    # ------------------------------------------------------------------
+    def attach_wal_hook(self, hook: object) -> None:
+        """Attach a durability observer (one at a time).
+
+        ``hook`` must provide ``on_commit(entry: EdgeUpdate)`` — called
+        after every successful mutation — and ``on_compact(graph)`` —
+        called after :meth:`compact` rebases the CSR.  Used by
+        :class:`~repro.durability.manager.DurabilityManager`; attaching
+        a second hook raises :class:`~repro.errors.ParameterError`.
+        """
+        if self._wal_hook is not None and self._wal_hook is not hook:
+            raise ParameterError(
+                "a WAL hook is already attached to this DynamicGraph"
+            )
+        self._wal_hook = hook
+
+    def detach_wal_hook(self) -> None:
+        self._wal_hook = None
 
     # ------------------------------------------------------------------
     # Internals
@@ -388,7 +432,10 @@ class DynamicGraph:
     def _commit(self, op: str, u: int, v: int, old_degree: int) -> int:
         self._version += 1
         self._snapshot_cache = None
-        self._journal.append(EdgeUpdate(self._version, op, u, v, old_degree))
+        entry = EdgeUpdate(self._version, op, u, v, old_degree)
+        self._journal.append(entry)
+        if self._wal_hook is not None:
+            self._wal_hook.on_commit(entry)  # type: ignore[attr-defined]
         return self._version
 
     def _check_node(self, v: int) -> None:

@@ -54,6 +54,7 @@ from repro.backends import (
 )
 from repro.core.powerpush import power_push, power_push_block
 from repro.core.workspace import Workspace
+from repro.durability.atomic import atomic_write_json
 from repro.errors import ParameterError
 from repro.generators.rmat import rmat_digraph
 
@@ -227,7 +228,7 @@ class KernelBenchReport:
     def write_json(self, path: str | Path) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        atomic_write_json(path, self.to_dict())
         return path
 
     def assessment(self, target_speedup: float) -> str:

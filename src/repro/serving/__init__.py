@@ -34,6 +34,11 @@ this package makes it a *service*:
   deadline-aware read retries, and a seeded schedule-driven
   :class:`~repro.serving.faults.FaultInjector` so chaos runs replay
   exactly.
+
+Both serving tiers accept ``wal_dir=`` to persist edge updates through
+:mod:`repro.durability` — a fsynced write-ahead log plus atomic
+checkpoints, recovered on cold restart before the first query is
+admitted (see that package for the crash contract).
 """
 
 from repro.serving.cache import (

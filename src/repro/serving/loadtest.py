@@ -50,6 +50,7 @@ import numpy as np
 
 from repro.api.engine import PPREngine
 from repro.api.registry import resolve_method
+from repro.durability.atomic import atomic_write_json
 from repro.errors import (
     DeadlineExceeded,
     ParameterError,
@@ -209,7 +210,7 @@ class LoadtestReport:
     def write_json(self, path: str | Path) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        atomic_write_json(path, self.to_dict())
         return path
 
     def render(self) -> str:

@@ -38,6 +38,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
+from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.api.engine import PPREngine
@@ -73,6 +74,20 @@ class EngineServer:
     start:
         ``False`` defers the scheduler worker; tests drive dispatch
         deterministically via ``server.scheduler.run_pending()``.
+    wal_dir, wal_fsync, checkpoint_every:
+        ``wal_dir`` makes the server durable: updates are logged to a
+        write-ahead log (fsynced before the version ack unless
+        ``wal_fsync=False``) with checkpoints every
+        ``checkpoint_every`` updates, and a restart on the same
+        directory recovers the pre-crash graph — ``graph_or_engine``
+        then only seeds a virgin directory and is ignored when durable
+        state exists.  See :mod:`repro.durability`.
+    durability:
+        A pre-opened
+        :class:`~repro.durability.manager.DurabilityManager` (its
+        attached graph must be ``graph_or_engine``); mutually
+        exclusive with ``wal_dir``.  Used by the crash harness to
+        thread fault hooks through the stack.
     """
 
     def __init__(
@@ -86,7 +101,44 @@ class EngineServer:
         window: float = 0.002,
         max_batch: int = 64,
         start: bool = True,
+        wal_dir: str | Path | None = None,
+        wal_fsync: bool = True,
+        checkpoint_every: int | None = None,
+        durability: Any | None = None,
     ) -> None:
+        if wal_dir is not None and durability is not None:
+            raise ParameterError(
+                "pass wal_dir (server opens the durable state) or "
+                "durability (a pre-opened DurabilityManager), not both"
+            )
+        self._durability = None
+        if wal_dir is not None:
+            if isinstance(graph_or_engine, PPREngine):
+                raise ParameterError(
+                    "wal_dir needs a graph, not a pre-built engine: the "
+                    "server must be free to discard the passed graph in "
+                    "favour of recovered durable state"
+                )
+            from repro.durability.manager import open_durable_graph
+
+            base = (
+                graph_or_engine
+                if isinstance(graph_or_engine, DynamicGraph)
+                else DynamicGraph(graph_or_engine)
+            )
+            self._durability, graph_or_engine = open_durable_graph(
+                wal_dir,
+                base,
+                fsync=wal_fsync,
+                checkpoint_every=checkpoint_every,
+            )
+        elif durability is not None:
+            if durability.graph is None or durability.graph is not graph_or_engine:
+                raise ParameterError(
+                    "the DurabilityManager's attached graph must be the "
+                    "graph passed to EngineServer"
+                )
+            self._durability = durability
         if isinstance(graph_or_engine, PPREngine):
             self._engine = graph_or_engine
         elif isinstance(graph_or_engine, (DiGraph, DynamicGraph)):
@@ -96,6 +148,8 @@ class EngineServer:
                 "EngineServer needs a PPREngine, DiGraph, or DynamicGraph; "
                 f"got {type(graph_or_engine).__name__}"
             )
+        if self._durability is not None:
+            self._engine.attach_durability(self._durability)
         if cache_capacity < 0:
             raise ParameterError(
                 f"cache_capacity must be >= 0, got {cache_capacity}"
@@ -131,6 +185,11 @@ class EngineServer:
     @property
     def scheduler(self) -> QueryScheduler:
         return self._scheduler
+
+    @property
+    def durability(self) -> Any | None:
+        """The attached DurabilityManager, or None when volatile."""
+        return self._durability
 
     @property
     def graph_version(self) -> int:
@@ -349,9 +408,13 @@ class EngineServer:
         owning :class:`~repro.serving.shm.SharedGraphImage` is closed
         by whoever exported/attached it (see
         :mod:`repro.serving.sharded` for the split of ``unlink`` in
-        the parent vs ``close`` in every worker).
+        the parent vs ``close`` in every worker).  An attached
+        durability manager is flushed and closed after the scheduler
+        drains, so a graceful shutdown leaves no pending WAL buffer.
         """
         self._scheduler.close()
+        if self._durability is not None:
+            self._durability.close()
 
     def __enter__(self) -> "EngineServer":
         return self

@@ -68,6 +68,7 @@ import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field, replace
 from multiprocessing import get_all_start_methods, get_context
+from pathlib import Path
 from types import FrameType
 from typing import Any, Iterable, Mapping
 
@@ -116,6 +117,10 @@ class WorkerConfig:
     backend: str | None = None
     #: Worker-side fault schedule (chaos runs only; empty in production).
     faults: tuple[FaultSpec, ...] = ()
+    #: Version the worker's DynamicGraph overlay starts at.  Nonzero
+    #: after cold-restart recovery: the shared base is the recovered
+    #: snapshot and version numbering continues from the durable state.
+    initial_version: int = 0
 
 
 def _raise_exit(signum: int, frame: FrameType | None) -> None:
@@ -169,6 +174,7 @@ def _worker_main(
         engine = PPREngine.from_shared_graph(
             image,
             dynamic=config.dynamic,
+            initial_version=config.initial_version,
             alpha=config.alpha,
             seed=config.seed,
             dead_end_policy=config.dead_end_policy,
@@ -525,6 +531,19 @@ class ShardedDispatcher:
         Deterministic chaos schedule
         (:class:`~repro.serving.faults.FaultInjector`); ``None`` in
         production.
+    wal_dir, wal_fsync, checkpoint_every:
+        ``wal_dir`` makes the cluster durable: the parent keeps a
+        mirror :class:`DynamicGraph` of the barriered update stream,
+        logs every agreed batch to a write-ahead log (fsynced before
+        the version ack unless ``wal_fsync=False``, checkpointed
+        every ``checkpoint_every`` updates), and a restart on the
+        same directory recovers the pre-crash graph — the recovered
+        snapshot becomes the shared base and every worker's version
+        counter continues from the recovered version.
+        ``graph_or_image`` then only seeds a virgin directory (a
+        pre-exported :class:`SharedGraphImage` cannot be combined
+        with ``wal_dir``: recovery must be free to export a different
+        base).  See :mod:`repro.durability`.
 
     The dispatcher mirrors :class:`EngineServer`'s surface —
     ``submit``/``query``/``batch``/``apply_updates``/``stats``/
@@ -556,11 +575,50 @@ class ShardedDispatcher:
         breaker_threshold: int = 3,
         breaker_reset: float = 1.0,
         fault_injector: FaultInjector | None = None,
+        wal_dir: str | Path | None = None,
+        wal_fsync: bool = True,
+        checkpoint_every: int | None = None,
     ) -> None:
         if workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
         if vnodes < 1:
             raise ParameterError(f"vnodes must be >= 1, got {vnodes}")
+        self._durability = None
+        self._mirror: DynamicGraph | None = None
+        initial_version = 0
+        if wal_dir is not None:
+            if isinstance(graph_or_image, SharedGraphImage):
+                raise ParameterError(
+                    "wal_dir cannot be combined with a pre-exported "
+                    "SharedGraphImage: recovery must be free to export "
+                    "the recovered snapshot as the shared base"
+                )
+            if dynamic is False:
+                raise ParameterError(
+                    "wal_dir implies dynamic=True (a static cluster has "
+                    "no update stream to make durable)"
+                )
+            from repro.durability.manager import open_durable_graph
+
+            seed_graph = None
+            if isinstance(graph_or_image, (DiGraph, DynamicGraph)):
+                # The mirror starts at version 0 over the *snapshot*,
+                # matching the version numbering workers boot with.
+                base_snap = (
+                    graph_or_image.snapshot()
+                    if isinstance(graph_or_image, DynamicGraph)
+                    else graph_or_image
+                )
+                seed_graph = DynamicGraph(base_snap)
+            self._durability, self._mirror = open_durable_graph(
+                wal_dir,
+                seed_graph,
+                fsync=wal_fsync,
+                checkpoint_every=checkpoint_every,
+            )
+            initial_version = self._mirror.version
+            dynamic = True
+            graph_or_image = self._mirror.snapshot()
         if isinstance(graph_or_image, SharedGraphImage):
             self._image = graph_or_image
             self._own_image = False
@@ -591,6 +649,7 @@ class ShardedDispatcher:
             window=window,
             max_batch=max_batch,
             backend=backend,
+            initial_version=initial_version,
         )
         self._update_timeout = float(update_timeout)
         if restart_policy is None:
@@ -627,14 +686,16 @@ class ShardedDispatcher:
         self._next_id = 0
         self._closed = False
         self._stopping = False
-        self._version = 0
+        self._version = initial_version
         self._submitted = 0
         self._rerouted = 0
         self._worker_failures = 0
         self._barriers: dict[int, _Barrier] = {}
-        #: every successfully barriered update, in order — the journal
-        #: a respawned worker replays to reach the current version
-        #: (``len(self._update_log) == self._version`` at all times)
+        #: every successfully barriered update since boot, in order —
+        #: the journal a respawned worker replays to reach the current
+        #: version (``initial_version + len(self._update_log) ==
+        #: self._version`` at all times; the offset is nonzero after
+        #: durable recovery)
         self._update_log: list[tuple[str, int, int]] = []
         #: worker_id -> monotonic time its next respawn attempt is due
         self._respawn_due: dict[int, float] = {}
@@ -756,6 +817,17 @@ class ShardedDispatcher:
     def dynamic(self) -> bool:
         """Whether the shards accept :meth:`apply_updates`."""
         return self._config.dynamic
+
+    @property
+    def durability(self) -> Any | None:
+        """The parent-side DurabilityManager, or None when volatile."""
+        return self._durability
+
+    @property
+    def recovered_version(self) -> int:
+        """Graph version the cluster booted at (0 unless durable
+        state was recovered from ``wal_dir``)."""
+        return self._config.initial_version
 
     def route(self, source: int) -> int:
         """The worker id ``source`` currently routes to (for tests)."""
@@ -971,8 +1043,23 @@ class ShardedDispatcher:
                     "every worker died during the update barrier; "
                     "the batch was not applied"
                 )
+            agreed = versions.pop()
+            if self._mirror is not None:
+                # Mirror the agreed batch and make it durable *before*
+                # the ack: still under the write lock, so no reader
+                # observes the new version until the WAL record is
+                # fsynced (fsync-before-ack).
+                self._mirror.apply_updates(batch)
+                if self._mirror.version != agreed:
+                    raise RuntimeError(
+                        "durable mirror diverged from the worker "
+                        f"barrier: mirror at {self._mirror.version}, "
+                        f"workers agreed on {agreed}"
+                    )
+                assert self._durability is not None
+                self._durability.flush()
             with self._mutex:
-                self._version = versions.pop()
+                self._version = agreed
                 # Journal for respawn catch-up: a worker respawned
                 # after this barrier replays the log and must land on
                 # exactly this version (one version bump per update).
@@ -1314,7 +1401,7 @@ class ShardedDispatcher:
             with self._rwlock.write():
                 acked = self._catch_up(state, acked=acked)
                 with self._mutex:
-                    expected = self._version
+                    expected = self._version - self._config.initial_version
                     stopping = self._stopping
                 if stopping or acked is None or acked != expected:
                     self._teardown_state(state)
@@ -1330,7 +1417,9 @@ class ShardedDispatcher:
                     # drained during replay): fresh cache, journal
                     # version, seen just now.
                     state.last_heartbeat = now
-                    state.reported_version = acked
+                    state.reported_version = (
+                        self._config.initial_version + acked
+                    )
                     state.reported_cache_size = 0
                     self._ring.add(worker_id)
                     self._respawns += 1
@@ -1350,9 +1439,11 @@ class ShardedDispatcher:
         The worker is not on the ring and its collector is not running
         yet, so its response queue is read directly here (timed waits
         only).  Returns the journal length the worker has confirmed —
-        equal to its graph version, one bump per update — or ``None``
-        on death, timeout, error, or dispatcher shutdown.
+        its graph version minus the boot version (one bump per update;
+        the boot version is nonzero after durable recovery) — or
+        ``None`` on death, timeout, error, or dispatcher shutdown.
         """
+        base = self._config.initial_version
         with self._mutex:
             batch = list(self._update_log[acked:])
             target = len(self._update_log)
@@ -1379,7 +1470,7 @@ class ShardedDispatcher:
             kind = message[0]
             if kind == "updated" and message[1] == barrier_id:
                 version = int(message[2])
-                return version if version == target else None
+                return (version - base) if version - base == target else None
             if kind == "update-error":
                 return None
             # Heartbeats (and any stale replies) are ignored here;
@@ -1648,6 +1739,8 @@ class ShardedDispatcher:
             self._image.cleanup()
         else:
             self._image.close()
+        if self._durability is not None:
+            self._durability.close()
 
     def __enter__(self) -> "ShardedDispatcher":
         return self

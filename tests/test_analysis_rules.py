@@ -1058,6 +1058,101 @@ class TestRetryDiscipline:
         assert findings == []
 
 
+class TestDurabilityDiscipline:
+    def test_flags_raw_writes_and_json_dump(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/report.py": """\
+                import json
+                from pathlib import Path
+
+                def persist(path: Path, payload: dict) -> None:
+                    path.write_text(json.dumps(payload))
+                    path.with_suffix(".bin").write_bytes(b"x")
+                    with open(path) as handle:
+                        json.dump(payload, handle)
+                """
+            },
+            select=["durability-discipline"],
+        )
+        assert len(findings) == 3
+        assert {f.line for f in findings} == {5, 6, 8}
+        assert all(f.rule == "durability-discipline" for f in findings)
+
+    def test_flags_fsyncless_wal_append(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/durability/fastwal.py": """\
+                class TurboLog:
+                    def append(self, version, updates):
+                        self._file.write(b"frame")
+                        self._file.flush()
+                """
+            },
+            select=["durability-discipline"],
+        )
+        assert len(findings) == 1
+        assert "os.fsync" in findings[0].message
+
+    def test_clean_atomic_writes_and_fsynced_append(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/report.py": """\
+                from repro.durability.atomic import atomic_write_json
+
+                def persist(path, payload):
+                    atomic_write_json(path, payload)
+                """,
+                "repro/durability/fastwal.py": """\
+                import os
+
+                class TurboLog:
+                    def append(self, version, updates):
+                        self._file.write(b"frame")
+                        self._file.flush()
+                        os.fsync(self._file.fileno())
+                """,
+            },
+            select=["durability-discipline"],
+        )
+        assert findings == []
+
+    def test_sanctioned_module_and_out_of_scope_are_exempt(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                # The implementation of the sanctioned path itself.
+                "repro/durability/atomic.py": """\
+                def atomic_write_text(path, text):
+                    path.write_text(text)
+                """,
+                # Outside the persistence-bearing packages.
+                "repro/experiments/notes.py": """\
+                def jot(path, text):
+                    path.write_text(text)
+                """,
+            },
+            select=["durability-discipline"],
+        )
+        assert findings == []
+
+    def test_suppressed_with_reason(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "repro/serving/report.py": """\
+                def persist(path, text):
+                    path.write_text(text)  # repro: allow[durability-discipline] -- throwaway debug dump, never reread
+                """
+            },
+            select=["durability-discipline"],
+        )
+        assert findings == []
+
+
 class TestSuppressionHygiene:
     def test_reasonless_allow_is_flagged_and_does_not_suppress(self, tmp_path):
         findings = lint_tree(

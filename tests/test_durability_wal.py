@@ -1,0 +1,204 @@
+"""Write-ahead log and atomic-write unit tests.
+
+The WAL's crash contract in miniature: framed records round-trip, a
+torn tail (partial final frame) heals silently because it was never
+acknowledged, while every form of mid-log damage — CRC mismatch,
+partial frame in a sealed segment, non-contiguous versions — raises
+:class:`~repro.errors.WalCorruptionError` instead of silently
+recovering a lie.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.durability import (
+    WalPosition,
+    WriteAheadLog,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    crc32c,
+)
+from repro.errors import WalCorruptionError
+
+_HEADER = struct.Struct("<II")
+
+
+def _append_batches(wal, batches, start_version=0):
+    version = start_version
+    for batch in batches:
+        version += len(batch)
+        wal.append(version, batch)
+    return version
+
+
+class TestCrc32c:
+    def test_standard_check_value(self):
+        # The canonical CRC32C (Castagnoli) check value — distinct
+        # from zlib.crc32's 0xCBF43926 for the same input.
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_empty_and_incremental(self):
+        assert crc32c(b"") == 0
+        whole = crc32c(b"hello world")
+        part = crc32c(b" world", crc32c(b"hello"))
+        assert whole == part
+
+
+class TestAtomicWrite:
+    def test_bytes_text_json_round_trip(self, tmp_path):
+        target = tmp_path / "artefact.bin"
+        atomic_write_bytes(target, b"\x00\x01")
+        assert target.read_bytes() == b"\x00\x01"
+        atomic_write_text(target, "hi")
+        assert target.read_text() == "hi"
+        atomic_write_json(target, {"a": 1})
+        assert json.loads(target.read_text()) == {"a": 1}
+
+    def test_replaces_existing_and_leaves_no_tmp(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {"v": 1})
+        atomic_write_json(target, {"v": 2})
+        assert json.loads(target.read_text()) == {"v": 2}
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_failure_cleans_up_tmp_file(self, tmp_path):
+        class Boom:
+            pass
+
+        with pytest.raises(TypeError):
+            atomic_write_json(tmp_path / "doc.json", {"bad": Boom()})
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestWalRoundTrip:
+    def test_append_replay(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            _append_batches(wal, [[("+", 0, 1)], [("-", 0, 1), ("+", 2, 3)]])
+        with WriteAheadLog(tmp_path) as wal:
+            records = list(wal.replay())
+            assert [r.version for r in records] == [1, 3]
+            assert records[1].updates == (("-", 0, 1), ("+", 2, 3))
+            assert wal.head_version == 3
+            assert wal.record_count == 2
+
+    def test_replay_after_version_skips_prefix(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            _append_batches(wal, [[("+", 0, 1)], [("+", 1, 2)], [("+", 2, 3)]])
+            assert [r.version for r in wal.replay(after_version=1)] == [2, 3]
+
+    def test_empty_log(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.head_version is None
+            assert wal.record_count == 0
+            assert list(wal.replay()) == []
+            assert wal.position == WalPosition(0, 0)
+
+
+class TestTornTail:
+    def test_every_truncation_of_last_record_heals(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            _append_batches(wal, [[("+", 0, 1)], [("+", 1, 2)]])
+        segment = tmp_path / "wal-00000000.log"
+        whole = segment.read_bytes()
+        length, _ = _HEADER.unpack_from(whole, 0)
+        first_frame = _HEADER.size + length
+        for cut in range(first_frame + 1, len(whole)):
+            segment.write_bytes(whole[:cut])
+            with WriteAheadLog(tmp_path) as wal:
+                # The torn record vanishes; the log stays appendable.
+                assert wal.head_version == 1
+                assert wal.record_count == 1
+                wal.append(2, [("+", 1, 2)])
+                assert wal.head_version == 2
+            segment.write_bytes(whole)
+
+    def test_torn_tail_is_truncated_on_disk(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(1, [("+", 0, 1)])
+        segment = tmp_path / "wal-00000000.log"
+        intact = segment.stat().st_size
+        segment.write_bytes(segment.read_bytes() + b"\x07\x00")
+        with WriteAheadLog(tmp_path):
+            pass
+        assert segment.stat().st_size == intact
+
+
+class TestCorruption:
+    def test_crc_mismatch_is_typed_corruption(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(1, [("+", 0, 1)])
+        segment = tmp_path / "wal-00000000.log"
+        data = bytearray(segment.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte under an intact header
+        segment.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError, match="CRC32C mismatch"):
+            WriteAheadLog(tmp_path)
+
+    def test_partial_frame_in_sealed_segment_is_corruption(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(1, [("+", 0, 1)])
+            wal.rotate()
+            wal.append(2, [("+", 1, 2)])
+        first = tmp_path / "wal-00000000.log"
+        first.write_bytes(first.read_bytes()[:-3])
+        with pytest.raises(WalCorruptionError, match="non-final"):
+            WriteAheadLog(tmp_path)
+
+    def test_non_contiguous_versions_are_corruption(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(1, [("+", 0, 1)])
+            wal.append(5, [("+", 1, 2)])  # skips versions 2..4
+        with pytest.raises(WalCorruptionError, match="not contiguous"):
+            WriteAheadLog(tmp_path)
+
+    def test_absurd_length_field_is_corruption(self, tmp_path):
+        segment = tmp_path / "wal-00000000.log"
+        tmp_path.mkdir(exist_ok=True)
+        payload = b"x" * 16
+        segment.write_bytes(
+            _HEADER.pack(1 << 31, crc32c(payload)) + payload
+        )
+        with pytest.raises(WalCorruptionError, match="corrupt length"):
+            WriteAheadLog(tmp_path)
+
+    def test_valid_crc_invalid_payload_is_corruption(self, tmp_path):
+        segment = tmp_path / "wal-00000000.log"
+        tmp_path.mkdir(exist_ok=True)
+        payload = b'{"not": "a batch"}'
+        segment.write_bytes(_HEADER.pack(len(payload), crc32c(payload)) + payload)
+        with pytest.raises(WalCorruptionError, match="not a valid"):
+            WriteAheadLog(tmp_path)
+
+
+class TestSegments:
+    def test_rotate_and_prune(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(1, [("+", 0, 1)])
+            new_seg = wal.rotate()
+            wal.append(2, [("+", 1, 2)])
+            assert wal.segments == (0, new_seg)
+            assert wal.prune_upto(new_seg) == 1
+            assert wal.segments == (new_seg,)
+        # Pruned history is gone; the survivor still replays.
+        with WriteAheadLog(tmp_path) as wal:
+            assert [r.version for r in wal.replay()] == [2]
+
+    def test_prune_never_touches_active_segment(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(1, [("+", 0, 1)])
+            assert wal.prune_upto(99) == 0
+            assert wal.segments == (0,)
+
+    def test_replay_spans_segments_with_contiguity(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(2, [("+", 0, 1), ("+", 1, 2)])
+            wal.rotate()
+            wal.append(3, [("-", 0, 1)])
+        with WriteAheadLog(tmp_path) as wal:
+            assert [r.version for r in wal.replay()] == [2, 3]
+            assert wal.head_version == 3

@@ -100,6 +100,51 @@ class TestRoundTrip:
         assert restarted.index_builds["walk"] == 0
 
 
+class TestArtifactIntegrity:
+    """Per-artifact checksums: torn or corrupted files are refused
+    with a typed error before a byte of them is trusted."""
+
+    def test_manifest_records_checksum_and_size(
+        self, graph, warm_engine, tmp_path
+    ):
+        manifest = json.loads(
+            warm_engine.save_indexes(tmp_path).read_text()
+        )
+        for entry in manifest["indexes"]:
+            assert len(entry["sha256"]) == 64
+            assert entry["bytes"] == (tmp_path / entry["file"]).stat().st_size
+
+    def test_corrupted_artifact_refused(self, graph, warm_engine, tmp_path):
+        warm_engine.save_indexes(tmp_path)
+        target = tmp_path / "walk.npz"
+        payload = bytearray(target.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        target.write_bytes(bytes(payload))
+        engine = PPREngine(graph, alpha=0.2, seed=11)
+        with pytest.raises(IndexMismatchError, match="SHA-256"):
+            engine.load_indexes(tmp_path)
+
+    def test_truncated_artifact_refused(self, graph, warm_engine, tmp_path):
+        warm_engine.save_indexes(tmp_path)
+        target = tmp_path / "walk.npz"
+        target.write_bytes(target.read_bytes()[:-10])
+        engine = PPREngine(graph, alpha=0.2, seed=11)
+        with pytest.raises(IndexMismatchError, match="truncat"):
+            engine.load_indexes(tmp_path)
+
+    def test_deleted_artifact_refused(self, graph, warm_engine, tmp_path):
+        warm_engine.save_indexes(tmp_path)
+        (tmp_path / "fora_w0.5.npz").unlink(missing_ok=True)
+        removed = [
+            p for p in tmp_path.glob("fora_*.npz")
+        ]
+        if removed:
+            removed[0].unlink()
+        engine = PPREngine(graph, alpha=0.2, seed=11)
+        with pytest.raises(IndexMismatchError, match="missing"):
+            engine.load_indexes(tmp_path)
+
+
 class TestStaleRefusal:
     def test_version_mismatch_refused(self, tmp_path):
         dyn = DynamicGraph(
